@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark/regeneration harness.
+
+Every module in this directory regenerates one artefact of the paper's
+evaluation (a figure, or a prose claim) as listed in DESIGN.md §4 and
+EXPERIMENTS.md.  The paper reports no numeric tables, so the benches check
+the *qualitative* shape (who communicates with whom, which constraints are
+met, which platform is slower) and use ``pytest-benchmark`` to time the
+regeneration itself.
+"""
+
+import pytest
+
+from repro.apps.motor_controller import MotorControllerConfig, build_session
+
+
+def small_motor_config():
+    """The scenario used throughout the benchmarks (keeps runs quick)."""
+    return MotorControllerConfig(final_position=40, segment=10, speed_limit=8)
+
+
+def run_motor_cosimulation(config=None, clock_period=100, sw_activation_period=None,
+                           max_time=20_000_000):
+    """One complete motor-controller co-simulation; returns (session, result)."""
+    session = build_session(config or small_motor_config(), clock_period=clock_period,
+                            sw_activation_period=sw_activation_period)
+    result = session.run_until_software_done(max_time=max_time)
+    return session, result
+
+
+@pytest.fixture
+def motor_config():
+    return small_motor_config()

@@ -1,0 +1,58 @@
+"""CLAIM-COHERENCE — "coherence between the results of co-simulation and
+co-synthesis" (paper §1 and §5).
+
+The same model is executed twice through the backplane: once with the
+nominal functional timing (the co-simulation step) and once with the timing
+back-annotated from co-synthesis (the synthesized system on the PC-AT/FPGA
+platform).  Every platform-independent observable must match.
+"""
+
+from benchmarks.conftest import small_motor_config
+from repro.apps.motor_controller import (
+    MotorControllerConfig,
+    build_session,
+    build_system,
+    build_view_library_for,
+    observables,
+)
+from repro.cosyn import CosynthesisFlow, check_coherence
+from repro.platforms import get_platform
+
+
+def run_coherence_check():
+    config = small_motor_config()
+    model, _ = build_system(config)
+    platform = get_platform("pc_at_fpga")
+    library = build_view_library_for({platform.name: platform}, config)
+    cosyn_result = CosynthesisFlow(model, platform, library=library).run()
+
+    def factory(clock_period, sw_activation_period):
+        return build_session(small_motor_config(), clock_period=clock_period,
+                             sw_activation_period=sw_activation_period)
+
+    report = check_coherence(factory, observables, cosyn_result,
+                             run_kwargs={"max_time": 50_000_000})
+    return config, cosyn_result, report
+
+
+def test_claim_coherence(benchmark):
+    config, cosyn_result, report = benchmark.pedantic(run_coherence_check,
+                                                      rounds=1, iterations=1)
+
+    assert report.coherent, report.differences
+    assert report.functional["motor_position"] == config.final_position
+    assert report.platform_timed["motor_position"] == config.final_position
+    assert report.functional["segments_commanded"] == config.segments
+    # The platform-timed run is slower in wall-clock terms but functionally
+    # identical — that is the coherence property.
+    assert report.platform_timing["activation_ns"] > report.functional_timing["activation_ns"]
+
+    print()
+    print("CLAIM-COHERENCE: co-simulation vs synthesized implementation")
+    print(report.as_table())
+    print(f"  functional run : clock {report.functional_timing['clock_ns']} ns, "
+          f"ended at {report.functional_timing['end_time_ns']} ns")
+    print(f"  platform run   : clock {report.platform_timing['clock_ns']} ns, "
+          f"sw activation {report.platform_timing['activation_ns']} ns, "
+          f"ended at {report.platform_timing['end_time_ns']} ns")
+    print(f"  coherent       : {report.coherent}")

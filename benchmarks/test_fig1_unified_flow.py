@@ -1,0 +1,61 @@
+"""FIG1 — the unified modelling methodology (paper Figure 1).
+
+One system description (C-like software FSMs + VHDL-like hardware FSMs +
+communication units from the library) feeds both branches of Figure 1:
+
+* the **co-simulation** branch validates the system functionally,
+* the **co-synthesis** branch produces the C program, the synthesized
+  hardware and the communication binding for the PC-AT/FPGA platform.
+
+The bench runs both branches from the *same* model object and checks each
+produced what the figure promises.
+"""
+
+from benchmarks.conftest import run_motor_cosimulation, small_motor_config
+from repro.apps.motor_controller import build_system, build_view_library_for
+from repro.cosyn import CosynthesisFlow
+from repro.platforms import get_platform
+
+
+def run_both_branches():
+    config = small_motor_config()
+    model, _ = build_system(config)
+    platform = get_platform("pc_at_fpga")
+    library = build_view_library_for({platform.name: platform}, config)
+
+    # Left branch of Figure 1: co-simulation.
+    session, cosim_result = run_motor_cosimulation(config)
+
+    # Right branch of Figure 1: co-synthesis (C compiler + HW synthesis).
+    cosyn_result = CosynthesisFlow(model, platform, library=library).run()
+    return config, session, cosim_result, cosyn_result
+
+
+def test_fig1_one_description_two_flows(benchmark):
+    config, session, cosim_result, cosyn_result = benchmark.pedantic(
+        run_both_branches, rounds=1, iterations=1
+    )
+
+    # Co-simulation branch: functional validation succeeded.
+    assert session.motor.position == config.final_position
+    assert cosim_result.sw_finished["DistributionMod"]
+
+    # Co-synthesis branch: SW compiled view, HW synthesis and binding exist.
+    sw = cosyn_result.software_result("DistributionMod")
+    hw = cosyn_result.hardware_result("SpeedControlMod")
+    assert cosyn_result.ok
+    assert "int DISTRIBUTION(void)" in sw.program_text
+    assert hw.fits_device
+    assert len(cosyn_result.address_map) > 0
+
+    print()
+    print("FIG1: unified methodology — both flows from one description")
+    print(f"  co-simulation   : motor at {session.motor.position} "
+          f"after {cosim_result.end_time} ns, "
+          f"{len(cosim_result.trace)} service calls")
+    print(f"  co-synthesis SW : {sw.code_size_bytes} bytes of C for "
+          f"{sw.platform_name}")
+    print(f"  co-synthesis HW : {hw.estimate.clbs_total} CLBs on "
+          f"{hw.device.name}, clock {hw.clock_ns} ns")
+    print(f"  binding         : {len(cosyn_result.address_map)} ports mapped from "
+          f"0x{min(cosyn_result.address_map.values()):X}")

@@ -1,0 +1,44 @@
+"""FIG5 — the HW/SW communicating subsystems in co-simulation (paper Figure 5).
+
+Runs the complete system and regenerates the interaction picture: every
+access-procedure invocation crossing the SW/HW communication unit and the
+HW/HW motor unit, with the controllers mediating each transfer.
+"""
+
+from benchmarks.conftest import run_motor_cosimulation, small_motor_config
+from repro.analysis import interface_traffic
+
+
+def run_fig5():
+    config = small_motor_config()
+    session, result = run_motor_cosimulation(config)
+    return config, session, result
+
+
+def test_fig5_interface_interaction(benchmark):
+    config, session, result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+
+    sw_hw_traffic = interface_traffic(result.trace, unit_name="SwHwUnit")
+    motor_traffic = interface_traffic(result.trace, unit_name="MotorUnit")
+
+    # Software side of the SW/HW unit (Distribution_Interface).
+    assert sw_hw_traffic[("DistributionMod", "SetupControl")] == 1
+    assert sw_hw_traffic[("DistributionMod", "MotorPosition")] == config.segments
+    assert sw_hw_traffic[("DistributionMod", "ReadMotorState")] == config.segments
+    # Hardware side of the SW/HW unit (SpeedControl_Interface).
+    assert sw_hw_traffic[("SpeedControlMod", "ReadMotorConstraints")] == 1
+    assert sw_hw_traffic[("SpeedControlMod", "ReadMotorPosition")] == config.segments
+    assert sw_hw_traffic[("SpeedControlMod", "ReturnMotorState")] == config.segments
+    # HW/HW unit (Motor_Interface): one pulse per step of travel.
+    assert motor_traffic[("SpeedControlMod", "SendMotorPulses")] == config.total_travel
+
+    # The handshake controller really mediated every command word.
+    assert session.waveform.count_pulses("SwHwUnit_CMD_FULL") == 1 + config.segments
+
+    print()
+    print("FIG5: service invocations across the communication units")
+    for (caller, service), count in sorted(sw_hw_traffic.items()):
+        print(f"  SwHwUnit  {caller:18s} {service:22s} x{count}")
+    for (caller, service), count in sorted(motor_traffic.items()):
+        print(f"  MotorUnit {caller:18s} {service:22s} x{count}")
+    print(f"  total service calls: {len(result.trace)}")

@@ -1,0 +1,64 @@
+"""FIG7 — the Speed Control subsystem (paper Figure 7).
+
+Regenerates the VHDL of the hardware subsystem (Position, Core and Timer
+units plus the HW views of the access procedures they call) and checks, in
+co-simulation, that the three parallel units cooperate as the figure
+describes: Position talks to the software, Core computes the motor
+variables, Timer sends the pulses.
+"""
+
+from benchmarks.conftest import run_motor_cosimulation, small_motor_config
+from repro.apps.motor_controller import build_speed_control, build_system
+from repro.hdl import emit_module
+
+
+def regenerate_fig7():
+    config = small_motor_config()
+    model, _ = build_system(config)
+    module = model.module("SpeedControlMod")
+    services = [
+        model.unit_for(module.name, name).service(name)
+        for name in module.services_used()
+    ]
+    vhdl = emit_module(module, services)
+    session, result = run_motor_cosimulation(config)
+    return config, module, vhdl, session, result
+
+
+def test_fig7_speed_control_subsystem(benchmark):
+    config, module, vhdl, session, result = benchmark.pedantic(
+        regenerate_fig7, rounds=1, iterations=1
+    )
+
+    # The three parallel units of the figure.
+    assert set(module.processes) == {"POSITION", "CORE", "TIMER"}
+
+    # Generated VHDL: one entity, one process per unit, the access procedures
+    # as VHDL procedures, and the internal signals connecting the units.
+    assert "entity SpeedControlMod is" in vhdl
+    for process in ("POSITION_proc", "CORE_proc", "TIMER_proc"):
+        assert f"{process} : process(clk, rst)" in vhdl
+    for procedure in ("ReadMotorConstraints", "ReadMotorPosition", "ReturnMotorState",
+                      "ReadSampledData", "SendMotorPulses"):
+        assert f"procedure {procedure}" in vhdl
+    assert "signal PULSECMD : std_logic;" in vhdl
+
+    # Co-simulated behaviour: Position served every command, Core finished
+    # every segment, Timer emitted one pulse per step.
+    adapter = session.hardware_adapter("SpeedControlMod")
+    assert result.trace.count(caller="SpeedControlMod",
+                              service="ReadMotorPosition") == config.segments
+    assert result.trace.count(caller="SpeedControlMod",
+                              service="SendMotorPulses") == config.total_travel
+    assert adapter.process_state("CORE") == "Idle"
+    assert adapter.process_variables("CORE")["RESIDUAL"] == 0
+    assert session.motor.position == config.final_position
+
+    print()
+    print("FIG7: Speed Control subsystem")
+    print(f"  units              : {sorted(module.processes)}")
+    print(f"  generated VHDL     : {len(vhdl.splitlines())} lines")
+    print(f"  positions received : {result.trace.count(caller='SpeedControlMod', service='ReadMotorPosition')}")
+    print(f"  pulses sent        : {result.trace.count(caller='SpeedControlMod', service='SendMotorPulses')}")
+    print(f"  final core state   : {adapter.process_state('CORE')} "
+          f"(residual {adapter.process_variables('CORE')['RESIDUAL']})")

@@ -1,0 +1,29 @@
+"""repro — a unified model for co-simulation and co-synthesis of mixed HW/SW systems.
+
+Reproduction of C. A. Valderrama et al., "A Unified Model for Co-simulation
+and Co-synthesis of Mixed Hardware/Software Systems", DATE 1995.
+
+Package map
+-----------
+
+=================  ==========================================================
+``repro.core``      the unified system model (modules, communication units,
+                    services, multi-view library)
+``repro.ir``        FSM-structured behavioural IR shared by all views
+``repro.desim``     discrete-event simulation kernel (VHDL semantics)
+``repro.hdl``       VHDL emission (HW views, behavioural architectures)
+``repro.swc``       C emission (SW simulation and SW synthesis views)
+``repro.comm``      library of communication units and view generation
+``repro.platforms`` target platform models (PC-AT + ISA + XC4000, UNIX IPC,
+                    micro-coded, multiprocessor)
+``repro.cosim``     co-simulation backplane
+``repro.cosyn``     co-synthesis flow (HLS, code generation, estimation,
+                    coherence checking)
+``repro.apps``      the Adaptive Motor Controller example
+``repro.analysis``  evaluation and back-annotation helpers
+=================  ==========================================================
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

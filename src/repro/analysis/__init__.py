@@ -1,0 +1,34 @@
+"""Evaluation and back-annotation helpers (the paper's stated future work).
+
+The paper closes with "future work consists of developing tools for
+evaluation and back-annotation with the results of co-synthesis tools"; this
+package provides exactly that layer on top of the flow:
+
+* :mod:`repro.analysis.metrics` — traffic/latency statistics extracted from
+  co-simulation traces,
+* :mod:`repro.analysis.timing` — real-time constraint checking over recorded
+  waveforms,
+* :mod:`repro.analysis.back_annotation` — turning co-synthesis estimates into
+  simulation parameters for platform-timed re-simulation.
+"""
+
+from repro.analysis.metrics import service_latency_stats, interface_traffic, LatencyStats
+from repro.analysis.timing import (
+    PulseTimingReport,
+    check_pulse_timing,
+    ResponseLatencyReport,
+    check_response_latency,
+)
+from repro.analysis.back_annotation import BackAnnotation, back_annotate
+
+__all__ = [
+    "service_latency_stats",
+    "interface_traffic",
+    "LatencyStats",
+    "PulseTimingReport",
+    "check_pulse_timing",
+    "ResponseLatencyReport",
+    "check_response_latency",
+    "BackAnnotation",
+    "back_annotate",
+]

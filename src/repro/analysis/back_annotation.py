@@ -1,0 +1,61 @@
+"""Back-annotation of co-synthesis results into simulation parameters."""
+
+
+class BackAnnotation:
+    """Simulation parameters derived from a co-synthesis result.
+
+    * ``hw_clock_ns`` — the clock period the synthesized hardware achieves,
+    * ``sw_activation_ns`` — the worst-case software activation period on the
+      target processor (including its port accesses over the bus),
+    * per-module detail for reporting.
+    """
+
+    def __init__(self, hw_clock_ns, sw_activation_ns, hardware_detail, software_detail):
+        self.hw_clock_ns = hw_clock_ns
+        self.sw_activation_ns = sw_activation_ns
+        self.hardware_detail = dict(hardware_detail)
+        self.software_detail = dict(software_detail)
+
+    def session_parameters(self):
+        """Keyword arguments for a platform-timed CosimSession."""
+        return {
+            "clock_period": max(1, int(round(self.hw_clock_ns))),
+            "sw_activation_period": max(
+                1, int(round(self.sw_activation_ns)) or int(round(self.hw_clock_ns))
+            ),
+        }
+
+    def slowdown_versus(self, functional_clock_ns=100):
+        """How much slower the platform-timed run advances per hardware cycle."""
+        return self.hw_clock_ns / functional_clock_ns
+
+    def __repr__(self):
+        return (
+            f"BackAnnotation(hw_clock={self.hw_clock_ns} ns, "
+            f"sw_activation={self.sw_activation_ns} ns)"
+        )
+
+
+def back_annotate(cosynthesis_result):
+    """Build a :class:`BackAnnotation` from a co-synthesis result."""
+    hardware_detail = {
+        name: {
+            "achievable_clock_ns": result.achievable_clock_ns,
+            "clbs": result.estimate.clbs_total,
+            "fits": result.fits_device,
+        }
+        for name, result in cosynthesis_result.hardware.items()
+    }
+    software_detail = {
+        name: {
+            "worst_activation_ns": result.worst_activation_ns,
+            "code_size_bytes": result.code_size_bytes,
+        }
+        for name, result in cosynthesis_result.software.items()
+    }
+    return BackAnnotation(
+        cosynthesis_result.system_clock_ns(),
+        cosynthesis_result.software_activation_ns(),
+        hardware_detail,
+        software_detail,
+    )

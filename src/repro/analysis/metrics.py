@@ -1,0 +1,68 @@
+"""Statistics over co-simulation traces."""
+
+from repro.utils.text import format_table
+
+
+class LatencyStats:
+    """Min / mean / max latency of a set of completed service invocations."""
+
+    def __init__(self, service, latencies):
+        self.service = service
+        self.latencies = list(latencies)
+
+    @property
+    def count(self):
+        return len(self.latencies)
+
+    @property
+    def minimum(self):
+        return min(self.latencies) if self.latencies else None
+
+    @property
+    def maximum(self):
+        return max(self.latencies) if self.latencies else None
+
+    @property
+    def mean(self):
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+    def as_row(self):
+        return (self.service, self.count, self.minimum, round(self.mean, 1)
+                if self.mean is not None else None, self.maximum)
+
+    def __repr__(self):
+        return f"LatencyStats({self.service}, n={self.count}, mean={self.mean})"
+
+
+def service_latency_stats(trace, services=None):
+    """Per-service latency statistics from a :class:`ServiceCallTrace`."""
+    services = services or trace.services_seen()
+    stats = {}
+    for service in services:
+        latencies = [record.latency for record in trace.completed(service=service)]
+        stats[service] = LatencyStats(service, latencies)
+    return stats
+
+
+def latency_table(stats):
+    """Render latency statistics as a text table."""
+    rows = [stat.as_row() for _, stat in sorted(stats.items())]
+    return format_table(["service", "calls", "min (ns)", "mean (ns)", "max (ns)"], rows)
+
+
+def interface_traffic(trace, unit_name=None):
+    """Number of completed transfers per (caller, service) pair.
+
+    When *unit_name* is given only calls through that communication unit are
+    counted — this is the SW/HW interface traffic figure of the prototype
+    analysis.
+    """
+    counts = {}
+    for record in trace.completed():
+        if unit_name is not None and record.unit != unit_name:
+            continue
+        key = (record.caller, record.service)
+        counts[key] = counts.get(key, 0) + 1
+    return counts

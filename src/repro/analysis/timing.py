@@ -1,0 +1,109 @@
+"""Real-time constraint checking over recorded waveforms.
+
+The motor controller's constraints are expressed on the pulse train the
+hardware sends to the motor (minimum pulse period: the motor cannot step
+faster) and on the response latency between a software command and the first
+hardware reaction.
+"""
+
+from repro.utils.text import format_table
+
+
+class PulseTimingReport:
+    """Observed pulse-train timing versus its constraints."""
+
+    def __init__(self, signal_name, edge_times, min_period_ns=None, max_period_ns=None):
+        self.signal_name = signal_name
+        self.edge_times = list(edge_times)
+        self.min_period_ns = min_period_ns
+        self.max_period_ns = max_period_ns
+        self.periods = [
+            later - earlier
+            for earlier, later in zip(self.edge_times, self.edge_times[1:])
+        ]
+        self.violations = []
+        for index, period in enumerate(self.periods):
+            if min_period_ns is not None and period < min_period_ns:
+                self.violations.append(
+                    (self.edge_times[index + 1], f"period {period} ns < min {min_period_ns} ns")
+                )
+            if max_period_ns is not None and period > max_period_ns:
+                self.violations.append(
+                    (self.edge_times[index + 1], f"period {period} ns > max {max_period_ns} ns")
+                )
+
+    @property
+    def pulse_count(self):
+        return len(self.edge_times)
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    @property
+    def observed_min_period(self):
+        return min(self.periods) if self.periods else None
+
+    @property
+    def observed_max_period(self):
+        return max(self.periods) if self.periods else None
+
+    def report(self):
+        rows = [
+            ("pulses", self.pulse_count),
+            ("observed min period (ns)", self.observed_min_period),
+            ("observed max period (ns)", self.observed_max_period),
+            ("required min period (ns)", self.min_period_ns),
+            ("required max period (ns)", self.max_period_ns),
+            ("violations", len(self.violations)),
+        ]
+        return (f"pulse timing of {self.signal_name}\n"
+                + format_table(["metric", "value"], rows))
+
+    def __repr__(self):
+        return f"PulseTimingReport({self.signal_name}, pulses={self.pulse_count}, ok={self.ok})"
+
+
+def check_pulse_timing(waveform, signal_name, min_period_ns=None, max_period_ns=None,
+                       level=1):
+    """Build a :class:`PulseTimingReport` for a recorded signal."""
+    edges = waveform.edge_times(signal_name, level=level)
+    return PulseTimingReport(signal_name, edges, min_period_ns, max_period_ns)
+
+
+class ResponseLatencyReport:
+    """Latency between a stimulus event and the first response event."""
+
+    def __init__(self, stimulus_time, response_time, max_latency_ns=None):
+        self.stimulus_time = stimulus_time
+        self.response_time = response_time
+        self.max_latency_ns = max_latency_ns
+
+    @property
+    def latency(self):
+        if self.stimulus_time is None or self.response_time is None:
+            return None
+        return self.response_time - self.stimulus_time
+
+    @property
+    def ok(self):
+        if self.latency is None:
+            return False
+        if self.max_latency_ns is None:
+            return True
+        return self.latency <= self.max_latency_ns
+
+    def __repr__(self):
+        return f"ResponseLatencyReport(latency={self.latency}, ok={self.ok})"
+
+
+def check_response_latency(stimulus_times, response_times, max_latency_ns=None):
+    """Latency from the first stimulus to the first response at or after it."""
+    stimulus = stimulus_times[0] if stimulus_times else None
+    response = None
+    if stimulus is not None:
+        for time in response_times:
+            if time >= stimulus:
+                response = time
+                break
+    return ResponseLatencyReport(stimulus, response, max_latency_ns)

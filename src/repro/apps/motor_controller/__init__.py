@@ -1,0 +1,59 @@
+"""The Adaptive Motor Controller (paper §4, Figures 4-8).
+
+The system adjusts the position and speed of a motor:
+
+* the **Distribution** subsystem (software) splits the travel distance into
+  segments and sends them, together with the motor constraints, to the
+  hardware;
+* the **Speed Control** subsystem (hardware — Position, Core and Timer
+  units) turns each commanded position into a train of motor pulses while
+  respecting the speed limit, and reports the reached position back;
+* a **SW/HW communication unit** carries commands (``Distribution_Interface``)
+  and status (``SpeedControl_Interface``); a **HW/HW communication unit**
+  (``Motor_Interface``) carries pulses and sampled coordinates between the
+  Speed Control hardware and the motor;
+* the **motor** itself is part of the environment: a physical model attached
+  to the co-simulation.
+"""
+
+from repro.apps.motor_controller.config import MotorControllerConfig
+from repro.apps.motor_controller.motor import MotorModel
+from repro.apps.motor_controller.comm_units import (
+    build_sw_hw_unit,
+    build_motor_unit,
+    CMD_PREFIX,
+    STAT_PREFIX,
+)
+from repro.apps.motor_controller.distribution import build_distribution
+from repro.apps.motor_controller.speed_control import build_speed_control
+from repro.apps.motor_controller.system import (
+    build_system,
+    build_session,
+    build_view_library_for,
+    observables,
+)
+from repro.apps.motor_controller.constraints import RealTimeConstraints
+from repro.apps.motor_controller.two_axis import (
+    build_two_axis_system,
+    build_two_axis_session,
+    two_axis_observables,
+)
+
+__all__ = [
+    "MotorControllerConfig",
+    "MotorModel",
+    "build_sw_hw_unit",
+    "build_motor_unit",
+    "CMD_PREFIX",
+    "STAT_PREFIX",
+    "build_distribution",
+    "build_speed_control",
+    "build_system",
+    "build_session",
+    "build_view_library_for",
+    "observables",
+    "RealTimeConstraints",
+    "build_two_axis_system",
+    "build_two_axis_session",
+    "two_axis_observables",
+]

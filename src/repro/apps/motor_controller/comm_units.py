@@ -1,0 +1,133 @@
+"""Communication units of the Adaptive Motor Controller (paper Figure 5).
+
+Two units connect the three parties:
+
+* **SwHwUnit** — the SW/HW communication unit.  It contains two handshake
+  channels: the *command* channel (software → hardware, carrying both the
+  motor constraints and the position commands, distinguished by a tag) and
+  the *status* channel (hardware → software, carrying the reached position).
+  The software-side access procedures form the ``Distribution_Interface``
+  (``SetupControl``, ``MotorPosition``, ``ReadMotorState``); the
+  hardware-side procedures form the ``SpeedControl_Interface``
+  (``ReadMotorConstraints``, ``ReadMotorPosition``, ``ReturnMotorState``).
+* **MotorUnit** — the HW/HW communication unit (``Motor_Interface``): the
+  pulse/direction lines towards the motor and the sampled-coordinate
+  register coming back (``SendMotorPulses``, ``ReadSampledData``).
+"""
+
+from repro.comm.protocols.handshake import (
+    handshake_ports,
+    make_get_service,
+    make_handshake_controller,
+    make_put_service,
+)
+from repro.comm.protocols.shared_reg import (
+    make_shared_get_service,
+    shared_register_ports,
+)
+from repro.core.comm_unit import CommunicationUnit
+from repro.core.port import Port, PortDirection
+from repro.core.service import Service, ServiceParam
+from repro.ir.builder import FsmBuilder
+from repro.ir.dtypes import BIT, word_type
+from repro.ir.expr import var
+from repro.ir.stmt import PortWrite
+
+#: Channel prefixes inside the SW/HW unit.
+CMD_PREFIX = "CMD_"
+STAT_PREFIX = "STAT_"
+
+#: Command tags on the command channel.
+TAG_CONSTRAINTS = 1
+TAG_POSITION = 2
+
+#: Interface names (the paper's vocabulary).
+DISTRIBUTION_INTERFACE = "Distribution_Interface"
+SPEED_CONTROL_INTERFACE = "SpeedControl_Interface"
+MOTOR_INTERFACE = "Motor_Interface"
+
+
+def build_sw_hw_unit(name="SwHwUnit", data_width=16, service_suffix=""):
+    """Build the SW/HW communication unit of Figure 5.
+
+    *service_suffix* renames every access procedure (``SetupControlX`` ...)
+    so one system model can contain one unit instance per motor axis.
+    """
+    ports = handshake_ports(CMD_PREFIX, data_width, with_tag=True)
+    ports += handshake_ports(STAT_PREFIX, data_width)
+
+    services = [
+        # Software side: Distribution_Interface access procedures.
+        make_put_service(f"SetupControl{service_suffix}", CMD_PREFIX, data_width,
+                         tag=TAG_CONSTRAINTS, interface=DISTRIBUTION_INTERFACE,
+                         param_name="CONSTRAINT",
+                         description="send the motor constraints to the hardware"),
+        make_put_service(f"MotorPosition{service_suffix}", CMD_PREFIX, data_width,
+                         tag=TAG_POSITION, interface=DISTRIBUTION_INTERFACE,
+                         param_name="POSITION",
+                         description="send the next position coordinate"),
+        make_get_service(f"ReadMotorState{service_suffix}", STAT_PREFIX, data_width,
+                         interface=DISTRIBUTION_INTERFACE, result_name="STATE",
+                         description="wait for and read the motor state report"),
+        # Hardware side: SpeedControl_Interface access procedures.
+        make_get_service(f"ReadMotorConstraints{service_suffix}", CMD_PREFIX, data_width,
+                         tag=TAG_CONSTRAINTS, interface=SPEED_CONTROL_INTERFACE,
+                         result_name="CONSTRAINT",
+                         description="receive the motor constraints"),
+        make_get_service(f"ReadMotorPosition{service_suffix}", CMD_PREFIX, data_width,
+                         tag=TAG_POSITION, interface=SPEED_CONTROL_INTERFACE,
+                         result_name="POSITION",
+                         description="receive the next position coordinate"),
+        make_put_service(f"ReturnMotorState{service_suffix}", STAT_PREFIX, data_width,
+                         interface=SPEED_CONTROL_INTERFACE, param_name="STATE",
+                         description="report the reached motor state"),
+    ]
+    controllers = [
+        make_handshake_controller("CmdCtrl", CMD_PREFIX, with_tag=True),
+        make_handshake_controller("StatCtrl", STAT_PREFIX),
+    ]
+    return CommunicationUnit(
+        name, ports=ports, services=services, controllers=controllers,
+        description="SW/HW communication unit (command + status handshake channels)",
+    )
+
+
+def _make_send_pulses_service(data_width=16, service_suffix=""):
+    """``SendMotorPulses(DIRECTION)``: drive one pulse with its direction."""
+    build = FsmBuilder(f"SendMotorPulses{service_suffix}")
+    build.variable("DIRECTION", word_type(1), 0)
+    build.ports("MOT_PULSE", "MOT_DIR")
+    with build.state("DRIVE") as state:
+        state.go("PULSE", actions=[PortWrite("MOT_DIR", var("DIRECTION")),
+                                   PortWrite("MOT_PULSE", 1)])
+    with build.state("PULSE") as state:
+        state.go("IDLE", actions=[PortWrite("MOT_PULSE", 0)])
+    with build.state("IDLE", done=True) as state:
+        state.go("DRIVE")
+    fsm = build.build(initial="DRIVE")
+    return Service(
+        f"SendMotorPulses{service_suffix}", fsm,
+        params=[ServiceParam("DIRECTION", word_type(1))],
+        interface=MOTOR_INTERFACE,
+        description="emit one motor control pulse in the given direction",
+    )
+
+
+def build_motor_unit(name="MotorUnit", data_width=16, service_suffix=""):
+    """Build the HW/HW communication unit towards the motor (Motor_Interface)."""
+    ports = [
+        Port("MOT_PULSE", PortDirection.OUT, BIT, "motor step pulse"),
+        Port("MOT_DIR", PortDirection.OUT, BIT, "motor step direction"),
+    ]
+    ports += shared_register_ports("MOT_SAMPLE_", data_width)
+    services = [
+        _make_send_pulses_service(data_width, service_suffix),
+        make_shared_get_service(f"ReadSampledData{service_suffix}", "MOT_SAMPLE_",
+                                data_width, interface=MOTOR_INTERFACE,
+                                result_name="COORD"),
+    ]
+    return CommunicationUnit(
+        name, ports=ports, services=services,
+        description="HW/HW communication unit: pulse/direction lines and sampled "
+                    "coordinate register",
+    )

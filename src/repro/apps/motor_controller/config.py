@@ -1,0 +1,65 @@
+"""Configuration of the Adaptive Motor Controller scenario."""
+
+from repro.utils.errors import ModelError
+
+
+class MotorControllerConfig:
+    """Parameters of one motor-control scenario (one axis).
+
+    Parameters
+    ----------
+    final_position:
+        Target coordinate the motor must reach (steps).
+    segment:
+        Travel distance handed to the hardware per command (steps); the
+        Distribution subsystem splits the total travel into segments of this
+        size ("the total translation distance of the motor is divided into
+        segments and is sent to the Speed Control sub-system as bundles").
+    speed_limit:
+        Maximum speed parameter transmitted by ``SetupControl``; the Speed
+        Control hardware never commands a speed above it.
+    start_position:
+        Initial motor coordinate.
+    pulse_gap_base:
+        Base value of the Timer unit's inter-pulse gap counter; together with
+        the commanded speed it sets the pulse period.
+    min_pulse_period_ns:
+        Real-time constraint: the motor cannot accept pulses closer together
+        than this.
+    max_response_ns:
+        Real-time constraint: maximum latency between the software command
+        and the first motor pulse.
+    """
+
+    def __init__(self, final_position=40, segment=10, speed_limit=8,
+                 start_position=0, pulse_gap_base=4,
+                 min_pulse_period_ns=400, max_response_ns=1_000_000):
+        if final_position <= start_position:
+            raise ModelError("final_position must be beyond start_position")
+        if segment <= 0:
+            raise ModelError("segment must be positive")
+        if speed_limit <= 0:
+            raise ModelError("speed_limit must be positive")
+        self.final_position = final_position
+        self.segment = segment
+        self.speed_limit = speed_limit
+        self.start_position = start_position
+        self.pulse_gap_base = pulse_gap_base
+        self.min_pulse_period_ns = min_pulse_period_ns
+        self.max_response_ns = max_response_ns
+
+    @property
+    def total_travel(self):
+        return self.final_position - self.start_position
+
+    @property
+    def segments(self):
+        """Number of position commands the Distribution subsystem issues."""
+        travel = self.total_travel
+        return (travel + self.segment - 1) // self.segment
+
+    def __repr__(self):
+        return (
+            f"MotorControllerConfig(final={self.final_position}, segment={self.segment}, "
+            f"speed_limit={self.speed_limit})"
+        )

@@ -1,0 +1,63 @@
+"""Real-time constraints of the Adaptive Motor Controller prototype.
+
+The paper reports that "an analysis of the prototype system indicates that
+this solution correctly implements the system functionality while meeting
+the real-time constraints"; this module makes those constraints explicit and
+checkable:
+
+* **pulse-period constraint** — the motor cannot step faster than its
+  mechanical limit (minimum period between pulses),
+* **response-latency constraint** — the first pulse must follow the software
+  position command within a bound,
+* **functional constraint** — the motor must end exactly at the commanded
+  final position with no missed pulses.
+"""
+
+from repro.analysis.timing import check_response_latency
+from repro.utils.text import format_table
+
+
+class RealTimeConstraints:
+    """Checks a finished co-simulation run against the scenario constraints."""
+
+    def __init__(self, config):
+        self.config = config
+
+    def check(self, session, result):
+        """Return a report dictionary; ``report['ok']`` is the overall verdict."""
+        motor = session.motor
+        periods = motor.pulse_periods()
+        min_period = min(periods) if periods else None
+        pulse_ok = (
+            min_period is None or min_period >= self.config.min_pulse_period_ns
+        ) and motor.missed_pulses == 0
+
+        command_times = [
+            record.end_time for record in result.trace.completed(service="MotorPosition")
+        ]
+        latency_report = check_response_latency(
+            command_times, motor.pulse_times, self.config.max_response_ns
+        )
+
+        functional_ok = motor.position == self.config.final_position
+        report = {
+            "final_position": motor.position,
+            "expected_position": self.config.final_position,
+            "functional_ok": functional_ok,
+            "pulse_count": motor.pulse_count,
+            "missed_pulses": motor.missed_pulses,
+            "observed_min_pulse_period_ns": min_period,
+            "required_min_pulse_period_ns": self.config.min_pulse_period_ns,
+            "pulse_ok": pulse_ok,
+            "response_latency_ns": latency_report.latency,
+            "max_response_ns": self.config.max_response_ns,
+            "response_ok": latency_report.ok,
+            "ok": functional_ok and pulse_ok and latency_report.ok,
+        }
+        return report
+
+    @staticmethod
+    def as_table(report):
+        rows = [(key, value) for key, value in report.items() if key != "ok"]
+        rows.append(("overall", "MET" if report["ok"] else "VIOLATED"))
+        return format_table(["constraint / observation", "value"], rows)

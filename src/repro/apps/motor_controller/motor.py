@@ -1,0 +1,94 @@
+"""Physical model of the motor (the environment of the system).
+
+The motor is a stepper-like axis: every rising edge of the pulse input moves
+the position by one step in the commanded direction, and the sampled
+coordinate is published back with a small conversion delay.  A minimum pulse
+period models the mechanical limit: pulses arriving faster than the motor
+can step are lost, which is exactly the discontinuous behaviour the
+Adaptive Motor Controller exists to avoid.
+"""
+
+from repro.utils.errors import SimulationError
+
+
+class MotorModel:
+    """Stepper-style motor attached to the co-simulation as an environment."""
+
+    def __init__(self, start_position=0, min_pulse_period_ns=None, sample_delay_ns=20,
+                 name="motor"):
+        self.name = name
+        self.position = start_position
+        self.start_position = start_position
+        self.min_pulse_period_ns = min_pulse_period_ns
+        self.sample_delay_ns = sample_delay_ns
+        self.pulse_times = []
+        self.missed_pulses = 0
+        self.steps_forward = 0
+        self.steps_backward = 0
+        self._last_step_time = None
+        self._attached = False
+
+    # ----------------------------------------------------------------- wiring
+
+    def attach(self, simulator, pulse_signal, direction_signal, sample_signal):
+        """Register the motor's behaviour on the given simulator signals."""
+        if self._attached:
+            raise SimulationError("motor model is already attached")
+        self._attached = True
+        simulator.schedule(sample_signal, self.position, 0)
+
+        def on_pulse():
+            if not (pulse_signal.event and pulse_signal.value == 1):
+                return
+            now = simulator.now
+            self.pulse_times.append(now)
+            if (
+                self.min_pulse_period_ns is not None
+                and self._last_step_time is not None
+                and now - self._last_step_time < self.min_pulse_period_ns
+            ):
+                self.missed_pulses += 1
+                return
+            self._last_step_time = now
+            if direction_signal.value == 1:
+                self.position += 1
+                self.steps_forward += 1
+            else:
+                self.position -= 1
+                self.steps_backward += 1
+            simulator.schedule(sample_signal, self.position, self.sample_delay_ns)
+
+        simulator.add_process(f"{self.name}_model", on_pulse,
+                              sensitivity=[pulse_signal], initial_run=False)
+        return self
+
+    # ------------------------------------------------------------------ query
+
+    @property
+    def pulse_count(self):
+        return len(self.pulse_times)
+
+    @property
+    def effective_steps(self):
+        return self.steps_forward - self.steps_backward
+
+    def pulse_periods(self):
+        return [
+            later - earlier
+            for earlier, later in zip(self.pulse_times, self.pulse_times[1:])
+        ]
+
+    def summary(self):
+        return {
+            "position": self.position,
+            "pulses": self.pulse_count,
+            "missed_pulses": self.missed_pulses,
+            "steps_forward": self.steps_forward,
+            "steps_backward": self.steps_backward,
+        }
+
+    def __repr__(self):
+        return (
+            f"MotorModel(position={self.position}, pulses={self.pulse_count}, "
+            f"missed={self.missed_pulses})"
+        )

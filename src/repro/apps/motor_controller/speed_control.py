@@ -1,0 +1,159 @@
+"""The Speed Control subsystem (hardware) — paper Figure 7.
+
+Three parallel units, each a clocked FSM process, cooperate through internal
+signals of the module:
+
+* **POSITION** — talks to the software: receives the motor constraints and
+  each position command through the ``SpeedControl_Interface`` access
+  procedures, hands the target to the CORE unit, and reports the reached
+  position back with ``ReturnMotorState``.
+* **CORE** — the control law: samples the motor coordinate
+  (``ReadSampledData``), computes direction, speed (bounded by the limit),
+  the residual position, and requests pulses from the TIMER unit until the
+  residual is zero.
+* **TIMER** — shapes the pulse train: emits one pulse per request through
+  ``SendMotorPulses`` and enforces the inter-pulse gap derived from the
+  commanded speed.
+
+Internal signals (Figure 7's "simple VHDL signals"):
+
+=============  =======  ====================================================
+signal          writer   meaning
+=============  =======  ====================================================
+LIMITSIG        POSITION  speed limit received from the software
+TARGETSIG       POSITION  target coordinate of the current segment
+NEWTARGET       POSITION  request: a new target is available
+BUSY            CORE      the core is working on a target
+CURRENTSIG      CORE      latest sampled motor coordinate
+DIRSIG          CORE      commanded direction (1 = forward)
+SPEEDSIG        CORE      commanded speed (bounded by LIMITSIG)
+PULSECMD        CORE      request: emit one pulse
+PULSEACK        TIMER     acknowledge: pulse emitted, gap in progress
+=============  =======  ====================================================
+"""
+
+from repro.core.module import HardwareModule
+from repro.core.port import Port, PortDirection
+from repro.ir.builder import FsmBuilder
+from repro.ir.dtypes import BIT, word_type
+from repro.ir.expr import BinOp, UnOp, port, var
+from repro.ir.stmt import Assign, PortWrite
+
+
+def _position_unit(suffix=""):
+    word = word_type(16)
+    build = FsmBuilder("POSITION")
+    build.variable("LIMIT", word, 0)
+    build.variable("TARGETPOS", word, 0)
+    with build.state("Startup") as state:
+        state.call(f"ReadMotorConstraints{suffix}", store="LIMIT", then="PublishLimit")
+    with build.state("PublishLimit") as state:
+        state.go("WaitPosition", actions=[PortWrite("LIMITSIG", var("LIMIT"))])
+    with build.state("WaitPosition") as state:
+        state.call(f"ReadMotorPosition{suffix}", store="TARGETPOS", then="Dispatch")
+    with build.state("Dispatch") as state:
+        state.go("WaitBusy", actions=[PortWrite("TARGETSIG", var("TARGETPOS")),
+                                      PortWrite("NEWTARGET", 1)])
+    with build.state("WaitBusy") as state:
+        state.go("WaitDone", when=port("BUSY").eq(1),
+                 actions=[PortWrite("NEWTARGET", 0)])
+        state.stay()
+    with build.state("WaitDone") as state:
+        state.go("Report", when=port("BUSY").eq(0))
+        state.stay()
+    with build.state("Report") as state:
+        state.call(f"ReturnMotorState{suffix}", args=[port("CURRENTSIG")], then="WaitPosition")
+    return build.build(initial="Startup")
+
+
+def _core_unit(pulse_gap_base, suffix=""):
+    word = word_type(16)
+    build = FsmBuilder("CORE")
+    build.variable("MYTARGET", word, 0)
+    build.variable("CURPOS", word, 0)
+    build.variable("RESIDUAL", word, 0)
+    with build.state("Idle") as state:
+        state.go("Sample", when=port("NEWTARGET").eq(1),
+                 actions=[Assign("MYTARGET", port("TARGETSIG")),
+                          PortWrite("BUSY", 1)])
+        state.stay()
+    with build.state("Sample") as state:
+        state.call(f"ReadSampledData{suffix}", store="CURPOS", then="Compute")
+    with build.state("Compute") as state:
+        # ComputeDirection / ComputeSpeed / ComputeResidualPosition
+        state.do(
+            Assign("RESIDUAL", UnOp("abs", BinOp("sub", var("MYTARGET"), var("CURPOS")))),
+            PortWrite("CURRENTSIG", var("CURPOS")),
+            PortWrite("DIRSIG", BinOp("gt", var("MYTARGET"), var("CURPOS"))),
+            PortWrite("SPEEDSIG", BinOp("min", port("LIMITSIG"), var("RESIDUAL"))),
+        )
+        state.go("Finish", when=var("RESIDUAL").eq(0))
+        state.go("Drive")
+    with build.state("Drive") as state:
+        state.go("WaitAck", actions=[PortWrite("PULSECMD", 1)])
+    with build.state("WaitAck") as state:
+        state.go("WaitAckClear", when=port("PULSEACK").eq(1),
+                 actions=[PortWrite("PULSECMD", 0)])
+        state.stay()
+    with build.state("WaitAckClear") as state:
+        state.go("Sample", when=port("PULSEACK").eq(0))
+        state.stay()
+    with build.state("Finish") as state:
+        state.go("Idle", actions=[PortWrite("BUSY", 0), PortWrite("PULSECMD", 0)])
+    return build.build(initial="Idle")
+
+
+def _timer_unit(pulse_gap_base, suffix=""):
+    word = word_type(16)
+    build = FsmBuilder("TIMER")
+    build.variable("GAPCNT", word, 0)
+    with build.state("WaitCmd") as state:
+        state.go("Send", when=port("PULSECMD").eq(1))
+        state.stay()
+    with build.state("Send") as state:
+        # ComputePulseWide / SendMotorPulses
+        state.call(f"SendMotorPulses{suffix}", args=[port("DIRSIG")], then="AckOn")
+    with build.state("AckOn") as state:
+        state.go("HoldAck", actions=[
+            PortWrite("PULSEACK", 1),
+            Assign("GAPCNT", BinOp("max", 0,
+                                   BinOp("sub", pulse_gap_base, port("SPEEDSIG")))),
+        ])
+    with build.state("HoldAck") as state:
+        state.go("Gap", when=port("PULSECMD").eq(0))
+        state.stay()
+    with build.state("Gap") as state:
+        state.go("Release", when=var("GAPCNT").eq(0))
+        state.stay(actions=[Assign("GAPCNT", var("GAPCNT") - 1)])
+    with build.state("Release") as state:
+        state.go("WaitCmd", actions=[PortWrite("PULSEACK", 0)])
+    return build.build(initial="WaitCmd")
+
+
+def build_speed_control(config, name="SpeedControlMod", service_suffix=""):
+    """Build the Speed Control hardware module for the given scenario *config*.
+
+    *service_suffix* must match the suffix used for the communication units
+    this module is bound to (see :mod:`repro.apps.motor_controller.two_axis`).
+    """
+    word = word_type(16)
+    internal = [
+        Port("LIMITSIG", PortDirection.INOUT, word, "speed limit from software"),
+        Port("TARGETSIG", PortDirection.INOUT, word, "target coordinate"),
+        Port("NEWTARGET", PortDirection.INOUT, BIT, "new-target request"),
+        Port("BUSY", PortDirection.INOUT, BIT, "core busy flag"),
+        Port("CURRENTSIG", PortDirection.INOUT, word, "latest sampled coordinate"),
+        Port("DIRSIG", PortDirection.INOUT, BIT, "commanded direction"),
+        Port("SPEEDSIG", PortDirection.INOUT, word, "commanded speed"),
+        Port("PULSECMD", PortDirection.INOUT, BIT, "pulse request"),
+        Port("PULSEACK", PortDirection.INOUT, BIT, "pulse acknowledge"),
+    ]
+    processes = [
+        _position_unit(service_suffix),
+        _core_unit(config.pulse_gap_base, service_suffix),
+        _timer_unit(config.pulse_gap_base, service_suffix),
+    ]
+    return HardwareModule(
+        name, processes, internal_signals=internal,
+        description="Speed Control subsystem: Position, Core and Timer units",
+    )

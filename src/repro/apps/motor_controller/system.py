@@ -1,0 +1,122 @@
+"""Assembly of the complete Adaptive Motor Controller system (Figure 4/5).
+
+``build_system`` produces the platform-independent
+:class:`~repro.core.model.SystemModel`; ``build_session`` wraps it in a
+co-simulation session with the motor's physical model attached;
+``observables`` extracts the platform-independent outcome used by the
+coherence check; ``build_view_library_for`` generates the multi-view library
+for any set of target platforms.
+"""
+
+from repro.apps.motor_controller.comm_units import (
+    DISTRIBUTION_INTERFACE,
+    SPEED_CONTROL_INTERFACE,
+    MOTOR_INTERFACE,
+    build_motor_unit,
+    build_sw_hw_unit,
+)
+from repro.apps.motor_controller.config import MotorControllerConfig
+from repro.apps.motor_controller.distribution import build_distribution
+from repro.apps.motor_controller.motor import MotorModel
+from repro.apps.motor_controller.speed_control import build_speed_control
+from repro.comm.generator import build_view_library
+from repro.core.model import SystemModel
+from repro.cosim.session import CosimSession
+
+
+def build_system(config=None):
+    """Build the Adaptive Motor Controller system model.
+
+    Returns ``(model, config)`` so callers that passed no configuration still
+    know the scenario parameters in use.
+    """
+    config = config or MotorControllerConfig()
+    model = SystemModel(
+        "AdaptiveMotorController",
+        description="Adaptive Motor Controller: SW Distribution subsystem and HW "
+                    "Speed Control subsystem communicating through a SW/HW "
+                    "communication unit; HW/HW unit towards the motor",
+    )
+    sw_hw_unit = model.add_comm_unit(build_sw_hw_unit())
+    motor_unit = model.add_comm_unit(build_motor_unit())
+    distribution = model.add_software_module(build_distribution(config))
+    speed_control = model.add_hardware_module(build_speed_control(config))
+
+    model.bind_interface(distribution.name, sw_hw_unit.name, DISTRIBUTION_INTERFACE)
+    model.bind_interface(speed_control.name, sw_hw_unit.name, SPEED_CONTROL_INTERFACE)
+    model.bind_interface(speed_control.name, motor_unit.name, MOTOR_INTERFACE)
+    return model, config
+
+
+def build_session(config=None, clock_period=100, sw_activation_period=None,
+                  activation_policy=None, library=None, trace_signals=True):
+    """Build a ready-to-run co-simulation session with the motor attached.
+
+    The returned session carries the motor model as ``session.motor`` so
+    tests and benchmarks can inspect the physical outcome directly.
+    """
+    model, config = build_system(config)
+    session = CosimSession(
+        model,
+        library=library,
+        clock_period=clock_period,
+        sw_activation_period=sw_activation_period,
+        activation_policy=activation_policy,
+        trace_signals=trace_signals,
+    )
+    motor = MotorModel(
+        start_position=config.start_position,
+        min_pulse_period_ns=config.min_pulse_period_ns,
+    )
+
+    def attach_motor(active_session):
+        active_session.motor = motor
+        motor.attach(
+            active_session.simulator,
+            active_session.unit_signal("MotorUnit", "MOT_PULSE"),
+            active_session.unit_signal("MotorUnit", "MOT_DIR"),
+            active_session.unit_signal("MotorUnit", "MOT_SAMPLE_REG"),
+        )
+
+    session.add_environment(attach_motor)
+    session.motor = motor
+    session.config = config
+    return session
+
+
+def observables(session, result):
+    """Platform-independent outcome of a run (used by the coherence check)."""
+    motor = session.motor
+    executor = session.software_executor("DistributionMod")
+    variables = executor.variables()
+    return {
+        "motor_position": motor.position,
+        "motor_pulses": motor.pulse_count,
+        "missed_pulses": motor.missed_pulses,
+        "segments_commanded": variables.get("SEGMENTS"),
+        "final_sw_state": executor.current_state,
+        "software_finished": executor.finished,
+        "position_commands": result.trace.count(service="MotorPosition"),
+        "state_reports": result.trace.count(service="ReturnMotorState"),
+        "constraints_sent": result.trace.count(service="SetupControl"),
+    }
+
+
+def build_view_library_for(platforms=None, config=None):
+    """Generate the multi-view library of the system's communication services.
+
+    *platforms* maps platform names to Platform instances (or is None for the
+    simulation-only views).  The SW synthesis views are generated with each
+    platform's port-access syntax over the SW/HW unit's ports.
+    """
+    model, _ = build_system(config)
+    sw_hw_unit = model.comm_unit("SwHwUnit")
+    motor_unit = model.comm_unit("MotorUnit")
+    syntaxes = {}
+    for name, platform in (platforms or {}).items():
+        syntaxes[name] = platform.port_syntax(list(sw_hw_unit.ports))
+    # Only the SW/HW unit is reachable from software, so only its services
+    # need per-platform SW synthesis views; the HW/HW Motor interface keeps
+    # its HW and SW-simulation views.
+    library = build_view_library([sw_hw_unit], platforms=syntaxes)
+    return build_view_library([motor_unit], library=library)

@@ -1,0 +1,77 @@
+"""Channel factories: assemble complete communication units.
+
+Each factory returns a :class:`~repro.core.comm_unit.CommunicationUnit` whose
+services are named by the caller, so application models can use the paper's
+vocabulary (``SetupControl``, ``ReadMotorState`` ...) while reusing the
+generic protocol machinery.
+"""
+
+from repro.comm.protocols.fifo import (
+    fifo_ports,
+    make_fifo_controller,
+    make_fifo_get_service,
+    make_fifo_put_service,
+)
+from repro.comm.protocols.handshake import (
+    handshake_ports,
+    make_get_service,
+    make_handshake_controller,
+    make_put_service,
+)
+from repro.comm.protocols.shared_reg import (
+    make_shared_get_service,
+    make_shared_put_service,
+    shared_register_ports,
+)
+from repro.core.comm_unit import CommunicationUnit
+
+
+def handshake_channel(name, put_name="PUT", get_name="GET", prefix="CH",
+                      data_width=16, put_interface="producer",
+                      get_interface="consumer", description=""):
+    """A unidirectional single-register handshake channel (Figure 2 shape)."""
+    prefix = f"{prefix}_" if prefix and not prefix.endswith("_") else prefix
+    ports = handshake_ports(prefix, data_width)
+    services = [
+        make_put_service(put_name, prefix, data_width, interface=put_interface),
+        make_get_service(get_name, prefix, data_width, interface=get_interface),
+    ]
+    controller = make_handshake_controller(f"{name}Ctrl", prefix)
+    return CommunicationUnit(
+        name, ports=ports, services=services, controller=controller,
+        description=description or "single-register full/empty handshake channel",
+    )
+
+
+def fifo_channel(name, put_name="PUSH", get_name="POP", prefix="FF",
+                 depth=4, data_width=16, put_interface="producer",
+                 get_interface="consumer", description=""):
+    """A unidirectional FIFO channel of the given *depth*."""
+    prefix = f"{prefix}_" if prefix and not prefix.endswith("_") else prefix
+    ports = fifo_ports(prefix, data_width)
+    services = [
+        make_fifo_put_service(put_name, prefix, data_width, interface=put_interface),
+        make_fifo_get_service(get_name, prefix, data_width, interface=get_interface),
+    ]
+    controller = make_fifo_controller(f"{name}Ctrl", prefix, depth=depth,
+                                      data_width=data_width)
+    return CommunicationUnit(
+        name, ports=ports, services=services, controller=controller,
+        description=description or f"FIFO channel of depth {depth}",
+    )
+
+
+def shared_register_channel(name, put_name="WRITE", get_name="SAMPLE", prefix="SR",
+                            data_width=16, put_interface="producer",
+                            get_interface="consumer", description=""):
+    """A shared register with no flow control (lossy, lowest latency)."""
+    prefix = f"{prefix}_" if prefix and not prefix.endswith("_") else prefix
+    ports = shared_register_ports(prefix, data_width)
+    services = [
+        make_shared_put_service(put_name, prefix, data_width, interface=put_interface),
+        make_shared_get_service(get_name, prefix, data_width, interface=get_interface),
+    ]
+    return CommunicationUnit(
+        name, ports=ports, services=services,
+        description=description or "shared register (no flow control)",
+    )

@@ -1,0 +1,91 @@
+"""Automatic view generation.
+
+For every service of a communication unit the generator produces
+
+* the **HW view** — a VHDL procedure (:func:`repro.hdl.emit_service_procedure`),
+* the **SW simulation view** — C against the simulator CLI,
+* one **SW synthesis view** per requested platform — C against that
+  platform's port-access syntax (including its physical address map).
+
+All three come from the single abstract service FSM, which is what makes the
+co-simulation and co-synthesis descriptions coherent by construction.
+"""
+
+from repro.core.views import MultiViewLibrary, View, ViewKind
+from repro.hdl.emitter import EmitContext, emit_service_procedure
+from repro.ir.dtypes import BitType
+from repro.swc.emitter import emit_service_view
+from repro.swc.syntax import CliPortSyntax
+from repro.utils.errors import ViewError
+
+
+def _bit_ports_of(unit):
+    return {name for name, port in unit.ports.items() if isinstance(port.dtype, BitType)}
+
+
+def generate_service_views(unit, service_name, platforms=None):
+    """Generate all views of one service of *unit*.
+
+    *platforms* maps platform names to
+    :class:`~repro.swc.syntax.PortAccessSyntax` instances (typically obtained
+    from :meth:`repro.platforms.base.Platform.port_syntax_for`).
+    Returns the list of :class:`View` objects.
+    """
+    service = unit.service(service_name)
+    bit_ports = _bit_ports_of(unit)
+    views = [
+        View(
+            service.name,
+            ViewKind.HW,
+            "vhdl",
+            emit_service_procedure(service, EmitContext(bit_ports=bit_ports)),
+            metadata={"unit": unit.name},
+        ),
+        View(
+            service.name,
+            ViewKind.SW_SIM,
+            "c",
+            emit_service_view(service, CliPortSyntax()),
+            metadata={"unit": unit.name},
+        ),
+    ]
+    for platform_name, syntax in (platforms or {}).items():
+        views.append(
+            View(
+                service.name,
+                ViewKind.SW_SYNTH,
+                "c",
+                emit_service_view(service, syntax),
+                platform=platform_name,
+                metadata={
+                    "unit": unit.name,
+                    "read_cycles": syntax.read_cycles,
+                    "write_cycles": syntax.write_cycles,
+                },
+            )
+        )
+    return views
+
+
+def build_view_library(units, platforms=None, library=None):
+    """Populate a :class:`MultiViewLibrary` with the views of every service.
+
+    *units* is an iterable of communication units; *platforms* maps platform
+    names to port-access syntaxes.  An existing *library* can be passed to be
+    extended; duplicate services across units are rejected, mirroring the
+    paper's requirement that a service name identify one procedure of the
+    component library.
+    """
+    library = library if library is not None else MultiViewLibrary()
+    seen = set()
+    for unit in units:
+        for service_name in unit.services:
+            if service_name in seen:
+                raise ViewError(
+                    f"service {service_name!r} is offered by more than one unit; "
+                    "service names must be unique across the component library"
+                )
+            seen.add(service_name)
+            for view in generate_service_views(unit, service_name, platforms):
+                library.add(view)
+    return library

@@ -1,0 +1,1 @@
+"""Parametric protocol generators for communication units."""

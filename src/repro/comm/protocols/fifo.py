@@ -1,0 +1,177 @@
+"""FIFO-buffered channel.
+
+Compared with the single-register handshake of
+:mod:`repro.comm.protocols.handshake`, the FIFO controller decouples producer
+and consumer: the producer can push up to *depth* words before blocking.
+The port interface separates the producer-side ``PFULL`` flag from the
+consumer-side ``CAVAIL`` flag; the controller keeps the storage slots as
+internal variables and performs the head/tail bookkeeping.
+
+This protocol is the subject of the ABL-PROTOCOL ablation: the access
+procedure FSMs stay small while the controller grows, demonstrating that the
+communication-unit abstraction really does hide protocol complexity from the
+modules.
+"""
+
+from repro.core.comm_unit import CommunicationController
+from repro.core.port import Port, PortDirection
+from repro.core.service import Service, ServiceParam
+from repro.ir.builder import FsmBuilder
+from repro.ir.dtypes import BIT, IntType, word_type
+from repro.ir.expr import port, var
+from repro.ir.stmt import Assign, If, PortWrite
+from repro.utils.errors import ModelError
+
+
+def fifo_ports(prefix, data_width=16):
+    """Port list of a FIFO channel (storage itself lives in the controller)."""
+    data_type = word_type(data_width)
+    return [
+        Port(f"{prefix}DATAIN", PortDirection.IN, data_type, "word pushed by the producer"),
+        Port(f"{prefix}PUTRDY", PortDirection.IN, BIT, "producer push strobe"),
+        Port(f"{prefix}PFULL", PortDirection.OUT, BIT, "FIFO full (producer side)"),
+        Port(f"{prefix}BUF", PortDirection.OUT, data_type, "word offered to the consumer"),
+        Port(f"{prefix}CAVAIL", PortDirection.OUT, BIT, "word available (consumer side)"),
+        Port(f"{prefix}GETACK", PortDirection.IN, BIT, "consumer pop acknowledge"),
+    ]
+
+
+def make_fifo_put_service(name, prefix, data_width=16, interface=None,
+                          param_name="REQUEST"):
+    """Producer-side push: blocks while the FIFO is full."""
+    data_type = word_type(data_width)
+    build = FsmBuilder(name)
+    build.variable(param_name, data_type, 0)
+    build.ports(f"{prefix}DATAIN", f"{prefix}PUTRDY", f"{prefix}PFULL")
+    with build.state("INIT") as state:
+        state.go("WAIT_SPACE", when=port(f"{prefix}PFULL").eq(1))
+        state.go("STROBE", actions=[PortWrite(f"{prefix}DATAIN", var(param_name)),
+                                    PortWrite(f"{prefix}PUTRDY", 1)])
+    with build.state("WAIT_SPACE") as state:
+        state.go("INIT", when=port(f"{prefix}PFULL").eq(0))
+        state.stay()
+    with build.state("STROBE") as state:
+        state.go("IDLE", actions=[PortWrite(f"{prefix}PUTRDY", 0)])
+    with build.state("IDLE", done=True) as state:
+        state.go("INIT")
+    fsm = build.build(initial="INIT")
+    return Service(name, fsm, params=[ServiceParam(param_name, data_type)],
+                   interface=interface,
+                   description=f"FIFO push over channel {prefix!r}")
+
+
+def make_fifo_get_service(name, prefix, data_width=16, interface=None,
+                          result_name="VALUE"):
+    """Consumer-side pop: blocks until a word is available."""
+    data_type = word_type(data_width)
+    build = FsmBuilder(name)
+    build.variable(result_name, data_type, 0)
+    build.returns(result_name)
+    build.ports(f"{prefix}BUF", f"{prefix}CAVAIL", f"{prefix}GETACK")
+    with build.state("INIT") as state:
+        state.go("TAKE", when=port(f"{prefix}CAVAIL").eq(1),
+                 actions=[Assign(result_name, port(f"{prefix}BUF")),
+                          PortWrite(f"{prefix}GETACK", 1)])
+        state.stay()
+    with build.state("TAKE") as state:
+        state.go("IDLE", when=port(f"{prefix}CAVAIL").eq(0),
+                 actions=[PortWrite(f"{prefix}GETACK", 0)])
+        state.stay()
+    with build.state("IDLE", done=True) as state:
+        state.go("INIT")
+    fsm = build.build(initial="INIT")
+    return Service(name, fsm, params=(), returns=data_type, interface=interface,
+                   description=f"FIFO pop over channel {prefix!r}")
+
+
+def _select_slot(index_var, slot_names, make_action):
+    """Build a nested If choosing a slot register by the value of *index_var*.
+
+    *make_action* maps a slot name to the list of statements to run when that
+    slot is selected.
+    """
+    statement = If(var(index_var).eq(len(slot_names) - 1),
+                   make_action(slot_names[-1]), [])
+    for index in range(len(slot_names) - 2, -1, -1):
+        statement = If(var(index_var).eq(index), make_action(slot_names[index]),
+                       [statement])
+    return statement
+
+
+def make_fifo_controller(name, prefix, depth=4, data_width=16):
+    """Build the FIFO controller FSM with *depth* internal slot registers."""
+    if depth < 1 or depth > 16:
+        raise ModelError(f"FIFO depth must be between 1 and 16, got {depth}")
+    data_type = word_type(data_width)
+    index_type = IntType(0, max(depth, 2))
+    count_type = IntType(0, depth + 1)
+    slot_names = [f"SLOT{index}" for index in range(depth)]
+
+    build = FsmBuilder(name)
+    for slot in slot_names:
+        build.variable(slot, data_type, 0)
+    build.variable("HEAD", index_type, 0)
+    build.variable("TAIL", index_type, 0)
+    build.variable("COUNT", count_type, 0)
+    build.variable("PREVRDY", word_type(1), 0)
+    build.variable("OFFERED", word_type(1), 0)
+    build.ports(f"{prefix}DATAIN", f"{prefix}PUTRDY", f"{prefix}PFULL",
+                f"{prefix}BUF", f"{prefix}CAVAIL", f"{prefix}GETACK")
+
+    push_condition = (
+        port(f"{prefix}PUTRDY").eq(1)
+        .and_(var("PREVRDY").eq(0))
+        .and_(var("COUNT").lt(depth))
+    )
+    push_actions = [
+        _select_slot("TAIL", slot_names,
+                     lambda slot: [Assign(slot, port(f"{prefix}DATAIN"))]),
+        Assign("TAIL", BinMod(var("TAIL") + 1, depth)),
+        Assign("COUNT", var("COUNT") + 1),
+    ]
+    # The consumer-side handshake is a full four-phase exchange: a new word is
+    # only offered once the consumer has released its acknowledge, and the pop
+    # is evaluated *before* the offer so a word offered in this cycle can never
+    # be consumed by a stale acknowledge within the same cycle.
+    offer_condition = (
+        var("OFFERED").eq(0)
+        .and_(var("COUNT").gt(0))
+        .and_(port(f"{prefix}GETACK").eq(0))
+    )
+    offer_actions = [
+        _select_slot("HEAD", slot_names,
+                     lambda slot: [PortWrite(f"{prefix}BUF", var(slot))]),
+        PortWrite(f"{prefix}CAVAIL", 1),
+        Assign("OFFERED", 1),
+    ]
+    pop_condition = var("OFFERED").eq(1).and_(port(f"{prefix}GETACK").eq(1))
+    pop_actions = [
+        PortWrite(f"{prefix}CAVAIL", 0),
+        Assign("OFFERED", 0),
+        Assign("HEAD", BinMod(var("HEAD") + 1, depth)),
+        Assign("COUNT", var("COUNT") - 1),
+    ]
+
+    with build.state("RUN") as state:
+        state.do(
+            If(push_condition, push_actions, []),
+            If(pop_condition, pop_actions, []),
+            If(offer_condition, offer_actions, []),
+            Assign("PREVRDY", port(f"{prefix}PUTRDY")),
+            PortWrite(f"{prefix}PFULL", var("COUNT").ge(depth)),
+        )
+        state.stay()
+    fsm = build.build(initial="RUN")
+    return CommunicationController(
+        name, fsm,
+        description=f"FIFO controller (depth {depth}) of channel {prefix!r}",
+    )
+
+
+def BinMod(expr, modulus):
+    """Helper building ``expr mod modulus`` (modulus 1 folds to 0)."""
+    from repro.ir.expr import BinOp
+    if modulus == 1:
+        from repro.ir.expr import Const
+        return Const(0)
+    return BinOp("mod", expr, modulus)

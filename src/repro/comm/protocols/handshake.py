@@ -1,0 +1,156 @@
+"""Register channel with a full/empty handshake — the paper's Figure 3 protocol.
+
+One direction of data transfer uses five ports (names are prefixed so several
+channels can coexist inside one communication unit):
+
+========= ======== =============================================================
+port       writer   meaning
+========= ======== =============================================================
+DATAIN     put      the word being transferred
+PUTRDY     put      producer strobes "a word is on DATAIN"
+TAGIN      put      optional command tag distinguishing logical streams
+BUF        ctrl     the controller's buffer register (read by get)
+TAGBUF     ctrl     buffered tag
+B_FULL     ctrl     buffer-full flag (the ``B_FULL`` of the paper)
+GETACK     get      consumer strobes "I have taken the word"
+========= ======== =============================================================
+
+The **controller** latches ``DATAIN`` into ``BUF`` when the producer strobes
+ready, raises ``B_FULL``, and releases it once the consumer acknowledges.
+The **put** service FSM reproduces the paper's PUT (INIT / WAIT_B_FULL /
+DATA_RDY / IDLE states); the **get** service waits for ``B_FULL`` (and a
+matching tag), captures ``BUF`` and acknowledges.
+"""
+
+from repro.core.port import Port, PortDirection
+from repro.core.service import Service, ServiceParam
+from repro.ir.builder import FsmBuilder
+from repro.ir.dtypes import BIT, word_type
+from repro.ir.expr import port, var
+from repro.ir.stmt import Assign, PortWrite
+
+
+def handshake_ports(prefix, data_width=16, with_tag=False):
+    """Return the Port list of one handshake channel with the given *prefix*."""
+    data_type = word_type(data_width)
+    ports = [
+        Port(f"{prefix}DATAIN", PortDirection.IN, data_type,
+             "word written by the producer"),
+        Port(f"{prefix}PUTRDY", PortDirection.IN, BIT, "producer data-ready strobe"),
+        Port(f"{prefix}BUF", PortDirection.OUT, data_type, "controller buffer register"),
+        Port(f"{prefix}FULL", PortDirection.OUT, BIT, "buffer-full flag (B_FULL)"),
+        Port(f"{prefix}GETACK", PortDirection.IN, BIT, "consumer acknowledge strobe"),
+    ]
+    if with_tag:
+        ports.append(Port(f"{prefix}TAGIN", PortDirection.IN, word_type(8),
+                          "command tag written by the producer"))
+        ports.append(Port(f"{prefix}TAGBUF", PortDirection.OUT, word_type(8),
+                          "buffered command tag"))
+    return ports
+
+
+def make_put_service(name, prefix, data_width=16, tag=None, interface=None,
+                     param_name="REQUEST", description=""):
+    """Build the producer-side ``put`` access procedure (paper Figure 3).
+
+    *tag* — when given, the value written to the channel's tag port, letting
+    several logical commands share one physical channel.
+    """
+    data_type = word_type(data_width)
+    build = FsmBuilder(name)
+    build.variable(param_name, data_type, 0)
+    build.ports(f"{prefix}DATAIN", f"{prefix}FULL", f"{prefix}PUTRDY")
+    with build.state("INIT") as state:
+        state.go("WAIT_B_FULL", when=port(f"{prefix}FULL").eq(1))
+        actions = [PortWrite(f"{prefix}DATAIN", var(param_name)),
+                   PortWrite(f"{prefix}PUTRDY", 1)]
+        if tag is not None:
+            actions.insert(1, PortWrite(f"{prefix}TAGIN", tag))
+        state.go("DATA_RDY", actions=actions)
+    with build.state("WAIT_B_FULL") as state:
+        state.go("INIT", when=port(f"{prefix}FULL").eq(0))
+        state.stay()
+    with build.state("DATA_RDY") as state:
+        state.go("IDLE", when=port(f"{prefix}FULL").eq(1),
+                 actions=[PortWrite(f"{prefix}PUTRDY", 0)])
+        state.stay()
+    with build.state("IDLE", done=True) as state:
+        state.go("INIT")
+    fsm = build.build(initial="INIT")
+    return Service(
+        name, fsm,
+        params=[ServiceParam(param_name, data_type)],
+        interface=interface,
+        description=description or f"blocking put over channel {prefix!r}",
+    )
+
+
+def make_get_service(name, prefix, data_width=16, tag=None, interface=None,
+                     result_name="VALUE", description=""):
+    """Build the consumer-side ``get`` access procedure.
+
+    When *tag* is given the service only consumes words carrying that tag,
+    leaving differently-tagged words for the other get services of the unit.
+    """
+    data_type = word_type(data_width)
+    build = FsmBuilder(name)
+    build.variable(result_name, data_type, 0)
+    build.returns(result_name)
+    build.ports(f"{prefix}BUF", f"{prefix}FULL", f"{prefix}GETACK")
+    full_is_up = port(f"{prefix}FULL").eq(1)
+    if tag is not None:
+        guard = full_is_up.and_(port(f"{prefix}TAGBUF").eq(tag))
+    else:
+        guard = full_is_up
+    with build.state("INIT") as state:
+        state.go("TAKE", when=guard,
+                 actions=[Assign(result_name, port(f"{prefix}BUF")),
+                          PortWrite(f"{prefix}GETACK", 1)])
+        state.stay()
+    with build.state("TAKE") as state:
+        state.go("IDLE", when=port(f"{prefix}FULL").eq(0),
+                 actions=[PortWrite(f"{prefix}GETACK", 0)])
+        state.stay()
+    with build.state("IDLE", done=True) as state:
+        state.go("INIT")
+    fsm = build.build(initial="INIT")
+    return Service(
+        name, fsm,
+        params=(),
+        returns=data_type,
+        interface=interface,
+        description=description or f"blocking get over channel {prefix!r}",
+    )
+
+
+def make_handshake_controller(name, prefix, with_tag=False):
+    """Build the channel controller FSM (latches data, manages ``B_FULL``)."""
+    from repro.core.comm_unit import CommunicationController
+
+    build = FsmBuilder(name)
+    build.ports(f"{prefix}DATAIN", f"{prefix}PUTRDY", f"{prefix}BUF",
+                f"{prefix}FULL", f"{prefix}GETACK")
+    with build.state("EMPTY") as state:
+        actions = [PortWrite(f"{prefix}BUF", port(f"{prefix}DATAIN")),
+                   PortWrite(f"{prefix}FULL", 1)]
+        if with_tag:
+            actions.insert(1, PortWrite(f"{prefix}TAGBUF", port(f"{prefix}TAGIN")))
+        state.go("OCCUPIED", when=port(f"{prefix}PUTRDY").eq(1), actions=actions)
+        state.stay()
+    with build.state("OCCUPIED") as state:
+        # FULL is only released once the consumer acknowledged AND the
+        # producer dropped its ready strobe: releasing earlier would let a
+        # slow producer's still-asserted PUTRDY re-latch the same word, and
+        # would hide the FULL pulse from a producer slower than the consumer.
+        state.go("RELEASE",
+                 when=port(f"{prefix}GETACK").eq(1)
+                 .and_(port(f"{prefix}PUTRDY").eq(0)),
+                 actions=[PortWrite(f"{prefix}FULL", 0)])
+        state.stay()
+    with build.state("RELEASE") as state:
+        state.go("EMPTY", when=port(f"{prefix}GETACK").eq(0))
+        state.stay()
+    fsm = build.build(initial="EMPTY")
+    return CommunicationController(
+        name, fsm, description=f"full/empty handshake controller of channel {prefix!r}"
+    )

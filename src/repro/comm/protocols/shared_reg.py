@@ -1,0 +1,59 @@
+"""Shared-register channel: a single register with no flow control.
+
+This is the cheapest communication scheme of the library — the producer
+overwrites the register, the consumer samples it, and words may be lost or
+read twice.  It models the "shared resource" communication property the
+paper lists and is used by the HW/HW Motor interface (sampled motor
+coordinates are naturally a shared register) and by the ABL-PROTOCOL
+ablation as the lower latency bound.
+"""
+
+from repro.core.port import Port, PortDirection
+from repro.core.service import Service, ServiceParam
+from repro.ir.builder import FsmBuilder
+from repro.ir.dtypes import word_type
+from repro.ir.expr import port, var
+from repro.ir.stmt import Assign, PortWrite
+
+
+def shared_register_ports(prefix, data_width=16):
+    """Port list of a shared-register channel (a single data register)."""
+    data_type = word_type(data_width)
+    return [
+        Port(f"{prefix}REG", PortDirection.INOUT, data_type,
+             "shared data register (no flow control)"),
+    ]
+
+
+def make_shared_put_service(name, prefix, data_width=16, interface=None,
+                            param_name="REQUEST"):
+    """Non-blocking write of the shared register (completes in one step)."""
+    data_type = word_type(data_width)
+    build = FsmBuilder(name)
+    build.variable(param_name, data_type, 0)
+    build.ports(f"{prefix}REG")
+    with build.state("WRITE") as state:
+        state.go("IDLE", actions=[PortWrite(f"{prefix}REG", var(param_name))])
+    with build.state("IDLE", done=True) as state:
+        state.go("WRITE")
+    fsm = build.build(initial="WRITE")
+    return Service(name, fsm, params=[ServiceParam(param_name, data_type)],
+                   interface=interface,
+                   description=f"non-blocking write of shared register {prefix!r}")
+
+
+def make_shared_get_service(name, prefix, data_width=16, interface=None,
+                            result_name="VALUE"):
+    """Non-blocking sample of the shared register (completes in one step)."""
+    data_type = word_type(data_width)
+    build = FsmBuilder(name)
+    build.variable(result_name, data_type, 0)
+    build.returns(result_name)
+    build.ports(f"{prefix}REG")
+    with build.state("SAMPLE") as state:
+        state.go("IDLE", actions=[Assign(result_name, port(f"{prefix}REG"))])
+    with build.state("IDLE", done=True) as state:
+        state.go("SAMPLE")
+    fsm = build.build(initial="SAMPLE")
+    return Service(name, fsm, params=(), returns=data_type, interface=interface,
+                   description=f"non-blocking sample of shared register {prefix!r}")

@@ -1,0 +1,141 @@
+"""Communication units and their controllers (paper §3, Figure 2).
+
+A communication unit is "an entity able to execute a communication scheme
+invoked through a procedure call mechanism".  It owns
+
+* a set of hardware **ports** (the registers and flags its protocol uses),
+* a set of **services** (access procedures) grouped into named interfaces,
+* optionally a **controller** — an FSM clocked like a hardware process that
+  guards the unit's state and resolves conflicts (a handshake, a FIFO
+  manager, up to a layered protocol).
+
+The unit itself is a library component: co-synthesis never synthesizes it,
+it swaps in the platform's real communication resources instead.
+"""
+
+from repro.core.port import Port, check_unique_ports
+from repro.core.service import Service
+from repro.ir.fsm import Fsm
+from repro.utils.errors import ModelError
+from repro.utils.ids import check_identifier
+
+
+class CommunicationController:
+    """The conflict-resolution / state-guarding FSM of a communication unit."""
+
+    def __init__(self, name, fsm, description=""):
+        self.name = check_identifier(name, "controller name")
+        if not isinstance(fsm, Fsm):
+            raise ModelError(f"controller {name!r}: fsm must be an Fsm")
+        self.fsm = fsm
+        self.description = description
+
+    def __repr__(self):
+        return f"CommunicationController({self.name})"
+
+
+class CommunicationUnit:
+    """A communication unit: ports + services + optional controller."""
+
+    def __init__(self, name, ports=(), services=(), controller=None, controllers=(),
+                 description=""):
+        self.name = check_identifier(name, "communication unit name")
+        self.ports = check_unique_ports(ports, owner=f"communication unit {name!r}")
+        self.services = {}
+        self.interfaces = {}
+        for service in services:
+            self.add_service(service)
+        all_controllers = list(controllers)
+        if controller is not None:
+            all_controllers.insert(0, controller)
+        self.controllers = []
+        for item in all_controllers:
+            if not isinstance(item, CommunicationController):
+                raise ModelError(
+                    f"communication unit {name!r}: {item!r} is not a "
+                    "CommunicationController"
+                )
+            self.controllers.append(item)
+        self.description = description
+
+    @property
+    def controller(self):
+        """The first controller (None when the unit is purely passive)."""
+        return self.controllers[0] if self.controllers else None
+
+    # ----------------------------------------------------------------- build
+
+    def add_port(self, port):
+        if not isinstance(port, Port):
+            raise ModelError(f"{port!r} is not a Port")
+        if port.name in self.ports:
+            raise ModelError(f"communication unit {self.name!r}: duplicate port {port.name!r}")
+        self.ports[port.name] = port
+        return port
+
+    def add_service(self, service):
+        if not isinstance(service, Service):
+            raise ModelError(f"{service!r} is not a Service")
+        if service.name in self.services:
+            raise ModelError(
+                f"communication unit {self.name!r}: duplicate service {service.name!r}"
+            )
+        self.services[service.name] = service
+        interface = service.interface or "default"
+        self.interfaces.setdefault(interface, []).append(service.name)
+        return service
+
+    # ----------------------------------------------------------------- query
+
+    def service(self, name):
+        try:
+            return self.services[name]
+        except KeyError:
+            raise ModelError(
+                f"communication unit {self.name!r} has no service {name!r}"
+            ) from None
+
+    def interface_services(self, interface):
+        """Return the Service objects of one interface group."""
+        if interface not in self.interfaces:
+            raise ModelError(
+                f"communication unit {self.name!r} has no interface {interface!r}"
+            )
+        return [self.services[name] for name in self.interfaces[interface]]
+
+    def port(self, name):
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise ModelError(
+                f"communication unit {self.name!r} has no port {name!r}"
+            ) from None
+
+    def check_ports(self):
+        """Check that every port referenced by services/controller exists.
+
+        Returns a list of problems (empty when consistent).
+        """
+        problems = []
+        known = set(self.ports)
+        for service in self.services.values():
+            for port_name in service.ports_used():
+                if port_name not in known:
+                    problems.append(
+                        f"service {service.name!r} uses undeclared port {port_name!r}"
+                    )
+        for controller in self.controllers:
+            controller_ports = set(controller.fsm.read_ports()) | set(
+                controller.fsm.written_ports()
+            )
+            for port_name in sorted(controller_ports - known):
+                problems.append(
+                    f"controller {controller.name!r} uses undeclared port {port_name!r}"
+                )
+        return problems
+
+    def __repr__(self):
+        return (
+            f"CommunicationUnit({self.name}, ports={len(self.ports)}, "
+            f"services={sorted(self.services)})"
+        )

@@ -1,0 +1,171 @@
+"""The system model: modules + communication units + bindings."""
+
+from repro.core.comm_unit import CommunicationUnit
+from repro.core.module import HardwareModule, Module, SoftwareModule
+from repro.utils.errors import ModelError
+from repro.utils.ids import check_identifier
+
+
+class Binding:
+    """States that *module* obtains *service* from communication unit *unit*."""
+
+    def __init__(self, module, service, unit):
+        self.module = module
+        self.service = service
+        self.unit = unit
+
+    def __repr__(self):
+        return f"Binding({self.module}.{self.service} -> {self.unit})"
+
+
+class SystemModel:
+    """A complete system description, input of both co-simulation and co-synthesis.
+
+    The model deliberately contains **no** information about the execution
+    platform: software behaviour, hardware behaviour and abstract
+    communication only.  Platform specifics enter later, through the views
+    selected by each flow.
+    """
+
+    def __init__(self, name, description=""):
+        self.name = check_identifier(name, "system name")
+        self.description = description
+        self.modules = {}
+        self.comm_units = {}
+        self.bindings = []
+
+    # ----------------------------------------------------------------- build
+
+    def add_module(self, module):
+        if not isinstance(module, Module):
+            raise ModelError(f"{module!r} is not a Module")
+        if module.name in self.modules:
+            raise ModelError(f"duplicate module {module.name!r}")
+        if module.name in self.comm_units:
+            raise ModelError(f"name {module.name!r} already used by a communication unit")
+        self.modules[module.name] = module
+        return module
+
+    def add_software_module(self, module):
+        if not isinstance(module, SoftwareModule):
+            raise ModelError(f"{module!r} is not a SoftwareModule")
+        return self.add_module(module)
+
+    def add_hardware_module(self, module):
+        if not isinstance(module, HardwareModule):
+            raise ModelError(f"{module!r} is not a HardwareModule")
+        return self.add_module(module)
+
+    def add_comm_unit(self, unit):
+        if not isinstance(unit, CommunicationUnit):
+            raise ModelError(f"{unit!r} is not a CommunicationUnit")
+        if unit.name in self.comm_units:
+            raise ModelError(f"duplicate communication unit {unit.name!r}")
+        if unit.name in self.modules:
+            raise ModelError(f"name {unit.name!r} already used by a module")
+        self.comm_units[unit.name] = unit
+        return unit
+
+    def bind(self, module_name, service_name, unit_name):
+        """Record that *module_name* reaches *service_name* through *unit_name*."""
+        if module_name not in self.modules:
+            raise ModelError(f"unknown module {module_name!r}")
+        if unit_name not in self.comm_units:
+            raise ModelError(f"unknown communication unit {unit_name!r}")
+        unit = self.comm_units[unit_name]
+        if service_name not in unit.services:
+            raise ModelError(
+                f"communication unit {unit_name!r} offers no service {service_name!r}"
+            )
+        for binding in self.bindings:
+            if binding.module == module_name and binding.service == service_name:
+                raise ModelError(
+                    f"service {service_name!r} of module {module_name!r} is already bound"
+                )
+        binding = Binding(module_name, service_name, unit_name)
+        self.bindings.append(binding)
+        return binding
+
+    def bind_interface(self, module_name, unit_name, interface):
+        """Bind every service of one interface group in a single call."""
+        unit = self.comm_unit(unit_name)
+        bindings = []
+        for service in unit.interface_services(interface):
+            bindings.append(self.bind(module_name, service.name, unit_name))
+        return bindings
+
+    # ----------------------------------------------------------------- query
+
+    def module(self, name):
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise ModelError(f"unknown module {name!r}") from None
+
+    def comm_unit(self, name):
+        try:
+            return self.comm_units[name]
+        except KeyError:
+            raise ModelError(f"unknown communication unit {name!r}") from None
+
+    def software_modules(self):
+        return [m for m in self.modules.values() if isinstance(m, SoftwareModule)]
+
+    def hardware_modules(self):
+        return [m for m in self.modules.values() if isinstance(m, HardwareModule)]
+
+    def binding_for(self, module_name, service_name):
+        """Return the Binding of (*module*, *service*), or ``None``."""
+        for binding in self.bindings:
+            if binding.module == module_name and binding.service == service_name:
+                return binding
+        return None
+
+    def unit_for(self, module_name, service_name):
+        """Return the CommunicationUnit serving (*module*, *service*)."""
+        binding = self.binding_for(module_name, service_name)
+        if binding is None:
+            raise ModelError(
+                f"service {service_name!r} of module {module_name!r} is not bound "
+                "to any communication unit"
+            )
+        return self.comm_units[binding.unit]
+
+    def services_required(self):
+        """Distinct service names called anywhere in the system."""
+        names = []
+        for module in self.modules.values():
+            for service in module.services_used():
+                if service not in names:
+                    names.append(service)
+        return names
+
+    def topology(self):
+        """Structural summary used by the Figure 4/5 regeneration benches."""
+        edges = []
+        for binding in self.bindings:
+            module = self.modules[binding.module]
+            edges.append(
+                {
+                    "module": binding.module,
+                    "module_kind": module.kind,
+                    "service": binding.service,
+                    "unit": binding.unit,
+                    "interface": self.comm_units[binding.unit]
+                    .services[binding.service]
+                    .interface,
+                }
+            )
+        return {
+            "system": self.name,
+            "software_modules": sorted(m.name for m in self.software_modules()),
+            "hardware_modules": sorted(m.name for m in self.hardware_modules()),
+            "comm_units": sorted(self.comm_units),
+            "bindings": edges,
+        }
+
+    def __repr__(self):
+        return (
+            f"SystemModel({self.name}, modules={sorted(self.modules)}, "
+            f"units={sorted(self.comm_units)})"
+        )

@@ -1,0 +1,79 @@
+"""Port accessors bridging IR port operations onto simulation signals.
+
+Two accessors exist on purpose, mirroring the paper's two simulation-time
+views of a communication procedure:
+
+* :class:`CliPortAccessor` — what the **SW simulation view** compiles to: the
+  C-language interface of the VHDL simulator (``cliGetPortValue`` /
+  ``cliOutput``).  Reads and writes are counted so the co-simulation report
+  can show the SW/HW interface traffic.
+* :class:`SignalPortAccessor` — what the **HW view** is: direct signal
+  access inside the hardware simulation.
+
+Functionally both act on the same signals; keeping them distinct preserves
+the view boundary and lets tests assert that software only ever touches
+hardware through the C-language interface.
+"""
+
+from repro.utils.errors import SimulationError
+
+
+class SignalPortAccessor:
+    """Direct signal access used by hardware processes and controllers."""
+
+    def __init__(self, simulator, signal_map, writer=""):
+        self._simulator = simulator
+        self._signal_map = dict(signal_map)
+        self.writer = writer
+        self.reads = 0
+        self.writes = 0
+
+    def _signal(self, port_name):
+        try:
+            return self._signal_map[port_name]
+        except KeyError:
+            raise SimulationError(
+                f"{self.writer or 'process'}: unknown port {port_name!r}"
+            ) from None
+
+    def read(self, port_name):
+        self.reads += 1
+        return self._signal(port_name).value
+
+    def write(self, port_name, value):
+        self.writes += 1
+        self._simulator.schedule(self._signal(port_name), value, 0)
+
+    def extend(self, signal_map):
+        """Add more port-to-signal mappings (used when wiring environments)."""
+        self._signal_map.update(signal_map)
+        return self
+
+    def known_ports(self):
+        return sorted(self._signal_map)
+
+
+class CliPortAccessor(SignalPortAccessor):
+    """The simulator's C-language interface, as used by software callers.
+
+    ``cli_get_port_value`` and ``cli_output`` are provided under their paper
+    names so the SW simulation views read naturally; the generic
+    ``read``/``write`` interface required by the IR interpreter simply
+    delegates to them.
+    """
+
+    def cli_get_port_value(self, port_name):
+        """``cliGetPortValue(map(PORT))`` of the paper's Figure 3b."""
+        self.reads += 1
+        return self._signal(port_name).value
+
+    def cli_output(self, port_name, value):
+        """``cliOutput(map(PORT), value)`` of the paper's Figure 3b."""
+        self.writes += 1
+        self._simulator.schedule(self._signal(port_name), value, 0)
+
+    def read(self, port_name):
+        return self.cli_get_port_value(port_name)
+
+    def write(self, port_name, value):
+        self.cli_output(port_name, value)

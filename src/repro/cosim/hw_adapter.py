@@ -1,0 +1,56 @@
+"""Execution of hardware modules during co-simulation.
+
+Each process of a hardware module becomes a clocked simulation process: on
+every rising clock edge it executes one FSM transition.  Port reads/writes
+act directly on simulation signals (the HW view); service calls are
+dispatched to the module's service instances, whose FSMs also act on the
+communication unit's signals — exactly what the generated VHDL procedures
+would do inside the process.
+"""
+
+from repro.ir.interp import FsmInstance
+
+
+class HardwareAdapter:
+    """Drives the processes of one hardware module inside a co-simulation."""
+
+    def __init__(self, module, simulator, clock, accessor, registry):
+        self.module = module
+        self.simulator = simulator
+        self.clock = clock
+        self.accessor = accessor
+        self.registry = registry
+        self.instances = {}
+        for fsm in module.behaviours():
+            self.instances[fsm.name] = FsmInstance(
+                fsm,
+                ports=accessor,
+                call_handler=registry.call_handler(),
+                trace=False,
+            )
+        self.cycles = 0
+        self._register()
+
+    def _register(self):
+        process_name = f"{self.module.name}_clked"
+
+        def on_clock():
+            if self.clock.value == 1:
+                self.cycles += 1
+                for instance in self.instances.values():
+                    instance.step()
+
+        self.simulator.add_process(process_name, on_clock, sensitivity=[self.clock],
+                                   initial_run=False)
+
+    def process_state(self, process_name):
+        """Current FSM state of one named process of the module."""
+        return self.instances[process_name].current
+
+    def process_variables(self, process_name):
+        """Current variable values of one named process."""
+        return dict(self.instances[process_name].env)
+
+    def __repr__(self):
+        states = {name: inst.current for name, inst in self.instances.items()}
+        return f"HardwareAdapter({self.module.name}, cycles={self.cycles}, states={states})"

@@ -1,0 +1,279 @@
+"""The co-simulation session: build, run, report.
+
+:class:`CosimSession` turns a validated :class:`~repro.core.model.SystemModel`
+into a running discrete-event simulation:
+
+1. every port of every communication unit becomes a signal named
+   ``<unit>_<port>``,
+2. every controller of every unit becomes a clocked process,
+3. every hardware module gets signals for its ports / internal wires, and a
+   clocked :class:`~repro.cosim.hw_adapter.HardwareAdapter`,
+4. every software module gets a :class:`~repro.cosim.sw_executor.SoftwareExecutor`
+   activated periodically by a generator process,
+5. *environment* hooks (the motor's physical model, user stimulus...) may add
+   further signals and processes.
+
+The session owns a waveform recorder and a service-call trace; after
+``run()`` it returns a :class:`CosimResult` summarising the functional
+outcome — the evidence the paper's co-simulation step is meant to produce.
+"""
+
+from repro.cosim.cli import CliPortAccessor, SignalPortAccessor
+from repro.cosim.hw_adapter import HardwareAdapter
+from repro.cosim.services import ServiceInstance, ServiceRegistry
+from repro.cosim.sw_executor import SoftwareExecutor
+from repro.cosim.sync import OneTransitionPerActivation
+from repro.cosim.tracing import ServiceCallTrace
+from repro.core.module import HardwareModule, SoftwareModule
+from repro.core.validation import validate_model
+from repro.desim import Simulator, Timeout, WaveformRecorder
+from repro.ir.interp import FsmInstance
+from repro.utils.errors import SimulationError
+
+
+class CosimResult:
+    """Summary of one co-simulation run."""
+
+    def __init__(self, session, end_time):
+        self.system = session.model.name
+        self.end_time = end_time
+        self.trace = session.trace
+        self.waveform = session.waveform
+        self.statistics = dict(session.simulator.statistics)
+        self.sw_states = {
+            name: executor.current_state
+            for name, executor in session.sw_executors.items()
+        }
+        self.sw_finished = {
+            name: executor.finished for name, executor in session.sw_executors.items()
+        }
+        self.sw_activations = {
+            name: executor.activations
+            for name, executor in session.sw_executors.items()
+        }
+        self.hw_cycles = {
+            name: adapter.cycles for name, adapter in session.hw_adapters.items()
+        }
+        self.monitor_violations = {
+            monitor.name: list(monitor.violations) for monitor in session.monitors
+        }
+
+    @property
+    def all_monitors_ok(self):
+        return all(not violations for violations in self.monitor_violations.values())
+
+    def summary(self):
+        return {
+            "system": self.system,
+            "end_time_ns": self.end_time,
+            "service_calls": len(self.trace),
+            "sw_states": self.sw_states,
+            "sw_activations": self.sw_activations,
+            "hw_cycles": self.hw_cycles,
+            "monitors_ok": self.all_monitors_ok,
+        }
+
+    def __repr__(self):
+        return f"CosimResult({self.system}, t={self.end_time} ns, calls={len(self.trace)})"
+
+
+class CosimSession:
+    """Builds and runs the joint simulation of a system model."""
+
+    def __init__(self, model, library=None, clock_period=100,
+                 sw_activation_period=None, activation_policy=None,
+                 validate=True, trace_signals=True):
+        if validate:
+            validate_model(model, library=library)
+        self.model = model
+        self.library = library
+        self.clock_period = clock_period
+        self.sw_activation_period = sw_activation_period or clock_period
+        self.activation_policy = activation_policy or OneTransitionPerActivation()
+        self.trace_signals = trace_signals
+
+        self.simulator = Simulator()
+        self.trace = ServiceCallTrace()
+        self.waveform = None
+        self.clock = None
+        self.unit_signals = {}
+        self.module_signals = {}
+        self.controller_instances = {}
+        self.sw_executors = {}
+        self.hw_adapters = {}
+        self.monitors = []
+        self._environment_hooks = []
+        self._built = False
+
+    # ------------------------------------------------------------------ build
+
+    def add_environment(self, hook):
+        """Register a callable ``hook(session)`` run at the end of build().
+
+        Environment hooks model everything outside the system (the motor, a
+        user): they may read :meth:`unit_signal`, add signals and processes
+        to :attr:`simulator`.
+        """
+        self._environment_hooks.append(hook)
+        return hook
+
+    def add_monitor(self, monitor):
+        """Attach a :class:`repro.desim.Monitor` checked during the run."""
+        self.monitors.append(monitor)
+        if self._built:
+            self.simulator.add_monitor(monitor)
+        return monitor
+
+    def build(self):
+        """Construct signals, processes and executors.  Idempotent."""
+        if self._built:
+            return self
+        self.clock = self.simulator.add_clock("hwclk", period=self.clock_period)
+        self._build_unit_signals()
+        self._build_controllers()
+        self._build_hardware()
+        self._build_software()
+        if self.trace_signals:
+            self.waveform = self.simulator.add_recorder(WaveformRecorder())
+        else:
+            self.waveform = WaveformRecorder([])
+        for monitor in self.monitors:
+            self.simulator.add_monitor(monitor)
+        for hook in self._environment_hooks:
+            hook(self)
+        self._built = True
+        return self
+
+    def _build_unit_signals(self):
+        for unit in self.model.comm_units.values():
+            signals = {}
+            for port in unit.ports.values():
+                signal = self.simulator.add_signal(
+                    f"{unit.name}_{port.name}", init=port.initial, dtype=port.dtype
+                )
+                signals[port.name] = signal
+            self.unit_signals[unit.name] = signals
+
+    def _build_controllers(self):
+        for unit in self.model.comm_units.values():
+            signals = self.unit_signals[unit.name]
+            for controller in unit.controllers:
+                accessor = SignalPortAccessor(self.simulator, signals,
+                                              writer=f"{unit.name}.{controller.name}")
+                instance = FsmInstance(controller.fsm, ports=accessor)
+                self.controller_instances[f"{unit.name}.{controller.name}"] = instance
+
+                def on_clock(instance=instance):
+                    if self.clock.value == 1:
+                        instance.step()
+
+                self.simulator.add_process(
+                    f"{unit.name}_{controller.name}_clked", on_clock,
+                    sensitivity=[self.clock], initial_run=False,
+                )
+
+    def _registry_for(self, module, software):
+        registry = ServiceRegistry(module.name)
+        for service_name in module.services_used():
+            unit = self.model.unit_for(module.name, service_name)
+            signals = self.unit_signals[unit.name]
+            accessor_cls = CliPortAccessor if software else SignalPortAccessor
+            accessor = accessor_cls(self.simulator, signals,
+                                    writer=f"{module.name}.{service_name}")
+            registry.add(
+                ServiceInstance(
+                    module.name, unit.service(service_name), unit.name, accessor,
+                    trace=self.trace, time_fn=lambda: self.simulator.now,
+                )
+            )
+        return registry
+
+    def _build_hardware(self):
+        for module in self.model.hardware_modules():
+            signals = {}
+            for port in list(module.ports.values()) + list(module.internal_signals.values()):
+                signal = self.simulator.add_signal(
+                    f"{module.name}_{port.name}", init=port.initial, dtype=port.dtype
+                )
+                signals[port.name] = signal
+            self.module_signals[module.name] = signals
+            accessor = SignalPortAccessor(self.simulator, signals, writer=module.name)
+            registry = self._registry_for(module, software=False)
+            self.hw_adapters[module.name] = HardwareAdapter(
+                module, self.simulator, self.clock, accessor, registry
+            )
+
+    def _build_software(self):
+        for module in self.model.software_modules():
+            registry = self._registry_for(module, software=True)
+            executor = SoftwareExecutor(module, registry, policy=self.activation_policy)
+            self.sw_executors[module.name] = executor
+            period = module.activation_period or self.sw_activation_period
+
+            def activations(executor=executor, period=period):
+                while True:
+                    yield Timeout(period)
+                    if executor.finished:
+                        return
+                    executor.activate()
+
+            self.simulator.add_process(f"{module.name}_activation", activations)
+
+    # -------------------------------------------------------------------- run
+
+    def run(self, until=None, max_time=None):
+        """Build if needed, run the simulation and return a :class:`CosimResult`."""
+        self.build()
+        end_time = self.simulator.run(until=until, max_time=max_time)
+        return CosimResult(self, end_time)
+
+    def run_until_software_done(self, max_time=10_000_000, check_every=10_000):
+        """Run until every software module finished (or *max_time* is hit)."""
+        self.build()
+        while self.simulator.now < max_time:
+            target = min(self.simulator.now + check_every, max_time)
+            self.simulator.run(until=target)
+            if all(executor.finished for executor in self.sw_executors.values()):
+                break
+            if self.simulator.now < target:
+                # No more activity is scheduled: nothing will ever finish.
+                break
+        return CosimResult(self, self.simulator.now)
+
+    # ------------------------------------------------------------------ query
+
+    def unit_signal(self, unit_name, port_name):
+        """The simulation signal of a communication-unit port."""
+        try:
+            return self.unit_signals[unit_name][port_name]
+        except KeyError:
+            raise SimulationError(
+                f"no signal for port {port_name!r} of unit {unit_name!r}"
+            ) from None
+
+    def module_signal(self, module_name, port_name):
+        """The simulation signal of a hardware-module port or internal wire."""
+        try:
+            return self.module_signals[module_name][port_name]
+        except KeyError:
+            raise SimulationError(
+                f"no signal for port {port_name!r} of module {module_name!r}"
+            ) from None
+
+    def software_executor(self, module_name):
+        try:
+            return self.sw_executors[module_name]
+        except KeyError:
+            raise SimulationError(f"no software module {module_name!r}") from None
+
+    def hardware_adapter(self, module_name):
+        try:
+            return self.hw_adapters[module_name]
+        except KeyError:
+            raise SimulationError(f"no hardware module {module_name!r}") from None
+
+    def __repr__(self):
+        return (
+            f"CosimSession({self.model.name}, built={self._built}, "
+            f"t={self.simulator.now} ns)"
+        )

@@ -1,0 +1,66 @@
+"""Execution of software modules during co-simulation.
+
+A software module is *activated* periodically by the backplane; each
+activation runs its FSM according to the chosen
+:class:`~repro.cosim.sync.ActivationPolicy` (the paper's default: one
+transition).  Service calls inside the FSM are dispatched to the module's
+:class:`~repro.cosim.services.ServiceRegistry`, whose instances execute the
+service FSMs through the C-language-interface accessor — i.e. the SW
+simulation view.
+"""
+
+from repro.cosim.sync import OneTransitionPerActivation
+from repro.ir.interp import FsmInstance, NullPortAccessor
+
+
+class SoftwareExecutor:
+    """Drives one software module's FSM inside a co-simulation."""
+
+    def __init__(self, module, registry, policy=None, ports=None):
+        self.module = module
+        self.registry = registry
+        self.policy = policy or OneTransitionPerActivation()
+        self.instance = FsmInstance(
+            module.fsm,
+            ports=ports or NullPortAccessor(),
+            call_handler=registry.call_handler(),
+            trace=True,
+        )
+        self.activations = 0
+        self.transitions = 0
+
+    @property
+    def finished(self):
+        """True once the module FSM has entered one of its done states."""
+        return self.instance.current in self.module.fsm.done_states
+
+    @property
+    def current_state(self):
+        return self.instance.current
+
+    def activate(self):
+        """Run one activation; returns the StepResults it produced."""
+        if self.finished:
+            return []
+        self.activations += 1
+        results = self.policy.activate(self.instance)
+        self.transitions += sum(1 for result in results if result.fired)
+        return results
+
+    def state_history(self):
+        """Sequence of states visited (from the FSM instance trace)."""
+        visited = [self.module.fsm.initial]
+        for result in self.instance.history:
+            if result.fired:
+                visited.append(result.to_state)
+        return visited
+
+    def variables(self):
+        """Current values of the module FSM's variables."""
+        return dict(self.instance.env)
+
+    def __repr__(self):
+        return (
+            f"SoftwareExecutor({self.module.name}, state={self.current_state}, "
+            f"activations={self.activations})"
+        )

@@ -1,0 +1,54 @@
+"""Software activation policies (the ABL-SYNC ablation).
+
+The paper's rule — one FSM transition per activation — gives precise
+synchronization between software and hardware because the software can never
+race ahead of the hardware state it just sampled.  The alternative policy
+(:class:`RunToIdle`) executes transitions until the FSM stops making
+progress within one activation; it is faster in activations but loses the
+cycle-accurate interleaving, which the ablation benchmark quantifies.
+"""
+
+from repro.utils.errors import SimulationError
+
+
+class ActivationPolicy:
+    """Decides how many FSM transitions one software activation may execute."""
+
+    name = "abstract"
+
+    def activate(self, instance, args=None):
+        """Advance *instance*; return the list of StepResults produced."""
+        raise NotImplementedError
+
+
+class OneTransitionPerActivation(ActivationPolicy):
+    """The paper's policy: exactly one FSM step per activation."""
+
+    name = "one_transition"
+
+    def activate(self, instance, args=None):
+        return [instance.step(args)]
+
+
+class RunToIdle(ActivationPolicy):
+    """Execute steps until no transition fires (or a bound is reached)."""
+
+    name = "run_to_idle"
+
+    def __init__(self, max_steps_per_activation=64):
+        if max_steps_per_activation < 1:
+            raise SimulationError("max_steps_per_activation must be at least 1")
+        self.max_steps = max_steps_per_activation
+
+    def activate(self, instance, args=None):
+        results = []
+        for _ in range(self.max_steps):
+            result = instance.step(args)
+            results.append(result)
+            if not result.fired or result.done:
+                break
+            if result.called is not None:
+                # A pending service call: hardware time must advance before
+                # the call can make progress, so the activation ends here.
+                break
+        return results

@@ -1,0 +1,121 @@
+"""Tracing of service invocations during co-simulation.
+
+The trace is the co-simulation counterpart of the paper's functional
+validation: it records which module invoked which access procedure of which
+communication unit, when the call started, when it completed and what value
+travelled — enough to regenerate the Figure 5 interaction picture and to
+compute per-service latency statistics for the protocol ablation.
+"""
+
+from repro.utils.text import format_table
+
+
+class ServiceCallRecord:
+    """One completed (or still pending) service invocation."""
+
+    def __init__(self, caller, service, unit, start_time, args=()):
+        self.caller = caller
+        self.service = service
+        self.unit = unit
+        self.start_time = start_time
+        self.end_time = None
+        self.args = tuple(args)
+        self.result = None
+        self.steps = 0
+
+    @property
+    def completed(self):
+        return self.end_time is not None
+
+    @property
+    def latency(self):
+        """Simulated nanoseconds between call start and completion."""
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def __repr__(self):
+        status = f"done@{self.end_time}" if self.completed else "pending"
+        return (
+            f"ServiceCallRecord({self.caller}->{self.service}@{self.unit}, "
+            f"start={self.start_time}, {status})"
+        )
+
+
+class ServiceCallTrace:
+    """Collects :class:`ServiceCallRecord` objects for a whole co-simulation."""
+
+    def __init__(self):
+        self.records = []
+        self._open = {}
+
+    def begin(self, caller, service, unit, time, args=()):
+        """Record the first step of an invocation (idempotent while pending)."""
+        key = (caller, service)
+        if key in self._open:
+            record = self._open[key]
+            record.steps += 1
+            return record
+        record = ServiceCallRecord(caller, service, unit, time, args)
+        record.steps = 1
+        self.records.append(record)
+        self._open[key] = record
+        return record
+
+    def complete(self, caller, service, time, result=None):
+        """Mark the pending invocation of (*caller*, *service*) as completed."""
+        key = (caller, service)
+        record = self._open.pop(key, None)
+        if record is None:
+            return None
+        record.end_time = time
+        record.result = result
+        return record
+
+    # ------------------------------------------------------------------ query
+
+    def completed(self, caller=None, service=None):
+        """Completed records, optionally filtered by caller and/or service."""
+        out = []
+        for record in self.records:
+            if not record.completed:
+                continue
+            if caller is not None and record.caller != caller:
+                continue
+            if service is not None and record.service != service:
+                continue
+            out.append(record)
+        return out
+
+    def count(self, caller=None, service=None):
+        return len(self.completed(caller, service))
+
+    def mean_latency(self, service=None, caller=None):
+        """Average latency (ns) of completed invocations, or None."""
+        records = self.completed(caller, service)
+        if not records:
+            return None
+        return sum(record.latency for record in records) / len(records)
+
+    def services_seen(self):
+        return sorted({record.service for record in self.records})
+
+    def as_table(self):
+        """Textual interaction table (the Figure 5 transcript)."""
+        rows = [
+            (
+                record.start_time,
+                record.end_time if record.completed else "-",
+                record.caller,
+                record.service,
+                record.unit,
+                record.result if record.result is not None else "",
+            )
+            for record in self.records
+        ]
+        return format_table(
+            ["start (ns)", "end (ns)", "caller", "service", "unit", "result"], rows
+        )
+
+    def __len__(self):
+        return len(self.records)

@@ -1,0 +1,38 @@
+"""Co-synthesis flow.
+
+Maps the same system model that was co-simulated onto a concrete target
+architecture (paper Figure 1, right branch):
+
+* **software synthesis** (:mod:`repro.cosyn.sw_synthesis`) — the software
+  modules and the SW synthesis views of the services they call are expanded
+  into C programs for the target processor, with the platform's physical
+  address map and a timing/code-size estimate,
+* **hardware synthesis** (:mod:`repro.cosyn.hw_synthesis`, backed by the
+  high-level synthesis passes of :mod:`repro.cosyn.hls`) — the hardware
+  module processes are scheduled, allocated and bound into FSMDs, RTL VHDL
+  is emitted and the design is estimated against the target FPGA,
+* **communication binding** — communication units are *not* synthesized (they
+  are library components); their ports are bound to the platform's physical
+  resources (ISA addresses, IPC queues ...),
+* **coherence checking** (:mod:`repro.cosyn.coherence`) — the synthesized
+  system, executed with back-annotated platform timing, is compared with the
+  functional co-simulation to show both flows agree.
+"""
+
+from repro.cosyn.target import TargetArchitecture
+from repro.cosyn.sw_synthesis import SoftwareSynthesisResult, synthesize_software
+from repro.cosyn.hw_synthesis import HardwareSynthesisResult, synthesize_hardware
+from repro.cosyn.flow import CosynthesisFlow, CosynthesisResult
+from repro.cosyn.coherence import CoherenceReport, check_coherence
+
+__all__ = [
+    "TargetArchitecture",
+    "SoftwareSynthesisResult",
+    "synthesize_software",
+    "HardwareSynthesisResult",
+    "synthesize_hardware",
+    "CosynthesisFlow",
+    "CosynthesisResult",
+    "CoherenceReport",
+    "check_coherence",
+]

@@ -1,0 +1,115 @@
+"""Coherence between co-simulation and co-synthesis (paper problem #2).
+
+The paper's second challenge is that, with separate environments, the
+descriptions used for co-simulation and for co-synthesis drift apart.  In
+this flow both start from the same model, so the remaining question is
+whether the *synthesized* system still behaves like the functional
+co-simulation once the platform's real timing is applied.
+
+:func:`check_coherence` therefore runs the system twice through the same
+co-simulation backplane:
+
+* a **functional run** with the nominal clock (what the paper calls the
+  co-simulation step), and
+* a **platform-timed run** whose hardware clock is the clock achieved by
+  hardware synthesis and whose software activation period is the worst-case
+  per-activation time estimated by software synthesis (back-annotation),
+
+then compares a user-supplied set of observables (final motor position,
+number of pulses, words exchanged ...).  Matching observables demonstrate
+the coherence claim; mismatches are listed with both values.
+"""
+
+from repro.utils.text import format_table
+
+
+class CoherenceReport:
+    """Comparison of observables between the two runs."""
+
+    def __init__(self, functional, platform_timed, functional_timing, platform_timing):
+        self.functional = dict(functional)
+        self.platform_timed = dict(platform_timed)
+        self.functional_timing = dict(functional_timing)
+        self.platform_timing = dict(platform_timing)
+        self.differences = {
+            key: (self.functional.get(key), self.platform_timed.get(key))
+            for key in set(self.functional) | set(self.platform_timed)
+            if self.functional.get(key) != self.platform_timed.get(key)
+        }
+
+    @property
+    def coherent(self):
+        return not self.differences
+
+    def as_table(self):
+        rows = []
+        for key in sorted(set(self.functional) | set(self.platform_timed)):
+            functional = self.functional.get(key)
+            timed = self.platform_timed.get(key)
+            rows.append((key, functional, timed, "ok" if functional == timed else "DIFF"))
+        return format_table(
+            ["observable", "co-simulation", "synthesized system", "status"], rows
+        )
+
+    def report(self):
+        lines = ["coherence check: co-simulation vs synthesized implementation", ""]
+        lines.append(self.as_table())
+        lines.append("")
+        lines.append(
+            "timing: functional run "
+            f"(clock {self.functional_timing.get('clock_ns')} ns, "
+            f"activation {self.functional_timing.get('activation_ns')} ns) vs "
+            f"platform run (clock {self.platform_timing.get('clock_ns')} ns, "
+            f"activation {self.platform_timing.get('activation_ns')} ns)"
+        )
+        lines.append(
+            "result: " + ("COHERENT" if self.coherent else f"{len(self.differences)} differences")
+        )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"CoherenceReport(coherent={self.coherent})"
+
+
+def check_coherence(session_factory, observables, cosynthesis_result,
+                    functional_clock_ns=100, run_kwargs=None):
+    """Run the functional and the platform-timed simulations and compare them.
+
+    Parameters
+    ----------
+    session_factory:
+        Callable ``session_factory(clock_period, sw_activation_period)``
+        returning a fresh, un-run :class:`~repro.cosim.session.CosimSession`.
+    observables:
+        Callable ``observables(session, result) -> dict`` extracting the
+        values to compare (must be platform independent: counts, final
+        positions, final states — not absolute times).
+    cosynthesis_result:
+        The :class:`~repro.cosyn.flow.CosynthesisResult` whose timing is
+        back-annotated into the second run.
+    functional_clock_ns:
+        Nominal clock of the functional run.
+    run_kwargs:
+        Extra keyword arguments passed to ``session.run_until_software_done``.
+    """
+    run_kwargs = dict(run_kwargs or {})
+
+    functional_session = session_factory(functional_clock_ns, functional_clock_ns)
+    functional_result = functional_session.run_until_software_done(**run_kwargs)
+    functional_obs = observables(functional_session, functional_result)
+
+    platform_clock = max(1, int(round(cosynthesis_result.system_clock_ns())))
+    activation = max(platform_clock,
+                     int(round(cosynthesis_result.software_activation_ns())) or platform_clock)
+    platform_session = session_factory(platform_clock, activation)
+    platform_result = platform_session.run_until_software_done(**run_kwargs)
+    platform_obs = observables(platform_session, platform_result)
+
+    return CoherenceReport(
+        functional_obs,
+        platform_obs,
+        {"clock_ns": functional_clock_ns, "activation_ns": functional_clock_ns,
+         "end_time_ns": functional_result.end_time},
+        {"clock_ns": platform_clock, "activation_ns": activation,
+         "end_time_ns": platform_result.end_time},
+    )

@@ -1,0 +1,163 @@
+"""The co-synthesis flow driver.
+
+``CosynthesisFlow(model, platform).run()`` performs, in order:
+
+1. model validation (including the presence of the SW synthesis views for
+   the chosen platform when a view library is supplied),
+2. software synthesis of every software module,
+3. hardware synthesis of every hardware module (when the platform has
+   programmable hardware),
+4. communication binding — the ports of the units reachable from software
+   are mapped to physical addresses / queue identifiers,
+5. constraint checking (device fit, clock achievable, bus rate sustainable),
+
+and returns a :class:`CosynthesisResult` holding every artefact plus a
+printable report — the co-synthesis half of the paper's Figure 1.
+"""
+
+from repro.core.validation import validate_model
+from repro.cosyn.sw_synthesis import synthesize_software
+from repro.cosyn.hw_synthesis import synthesize_hardware
+from repro.cosyn.target import TargetArchitecture
+from repro.platforms.base import Platform
+from repro.utils.errors import SynthesisError
+from repro.utils.text import format_table
+
+
+class CosynthesisResult:
+    """All artefacts produced by one co-synthesis run."""
+
+    def __init__(self, target):
+        self.target = target
+        self.software = {}
+        self.hardware = {}
+        self.address_map = {}
+        self.problems = []
+
+    # ------------------------------------------------------------------ query
+
+    @property
+    def ok(self):
+        return not self.problems
+
+    def software_result(self, module_name):
+        try:
+            return self.software[module_name]
+        except KeyError:
+            raise SynthesisError(f"no software synthesis result for {module_name!r}") from None
+
+    def hardware_result(self, module_name):
+        try:
+            return self.hardware[module_name]
+        except KeyError:
+            raise SynthesisError(f"no hardware synthesis result for {module_name!r}") from None
+
+    def system_clock_ns(self):
+        """Clock period the synthesized hardware actually achieves."""
+        clocks = [result.clock_ns for result in self.hardware.values()]
+        return max(clocks) if clocks else self.target.hw_clock_ns()
+
+    def software_activation_ns(self):
+        """Worst per-activation software time across all software modules."""
+        times = [result.worst_activation_ns for result in self.software.values()]
+        return max(times) if times else 0.0
+
+    def total_clbs(self):
+        return sum(result.estimate.clbs_total for result in self.hardware.values())
+
+    def communication_binding_table(self):
+        rows = [(port, hex(address) if isinstance(address, int) else address)
+                for port, address in sorted(self.address_map.items())]
+        return format_table(["communication port", "physical address"], rows)
+
+    def report(self):
+        lines = [
+            f"co-synthesis of {self.target.model.name} onto {self.target.platform.name}",
+            "",
+            "software modules:",
+        ]
+        for result in self.software.values():
+            lines.append(result.report())
+            lines.append("")
+        lines.append("hardware modules:")
+        for result in self.hardware.values():
+            lines.append(result.report())
+            lines.append("")
+        lines.append("communication binding:")
+        lines.append(self.communication_binding_table())
+        lines.append("")
+        lines.append(f"system clock: {self.system_clock_ns()} ns")
+        lines.append(
+            f"worst software activation: {self.software_activation_ns():.1f} ns"
+        )
+        if self.problems:
+            lines.append("PROBLEMS:")
+            lines.extend(f"  - {problem}" for problem in self.problems)
+        else:
+            lines.append("all co-synthesis constraints satisfied")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"CosynthesisResult({self.target.model.name}@{self.target.platform.name}, "
+            f"ok={self.ok})"
+        )
+
+
+class CosynthesisFlow:
+    """Drives co-synthesis of a system model onto a platform."""
+
+    def __init__(self, model, platform, library=None, address_base=None,
+                 hw_resources=None, validate=True):
+        if not isinstance(platform, Platform):
+            raise SynthesisError("platform must be a Platform instance")
+        self.model = model
+        self.platform = platform
+        self.library = library
+        self.hw_resources = hw_resources
+        self.target = TargetArchitecture(model, platform, address_base=address_base)
+        if validate:
+            validate_model(model, library=library,
+                           platforms=[platform.name] if library is not None else ())
+
+    def run(self):
+        """Execute the flow and return a :class:`CosynthesisResult`."""
+        result = CosynthesisResult(self.target)
+        for module in self.target.software_modules():
+            result.software[module.name] = synthesize_software(self.target, module)
+        if self.platform.has_hardware:
+            for module in self.target.hardware_modules():
+                result.hardware[module.name] = synthesize_hardware(
+                    self.target, module, resources=self.hw_resources
+                )
+        result.address_map = self.target.address_map()
+        result.problems = self._check_constraints(result)
+        return result
+
+    # ------------------------------------------------------------ constraints
+
+    def _check_constraints(self, result):
+        problems = []
+        device = self.platform.device
+        if device is not None and result.hardware:
+            total = result.total_clbs()
+            if total > device.clb_count:
+                problems.append(
+                    f"hardware does not fit: {total} CLBs needed, "
+                    f"{device.clb_count} available on {device.name}"
+                )
+        for module_name, hw_result in result.hardware.items():
+            bus_period_ns = self.platform.bus.cycle_ns
+            if hw_result.achievable_clock_ns > 4 * bus_period_ns:
+                problems.append(
+                    f"{module_name}: achievable clock {hw_result.achievable_clock_ns} ns "
+                    f"is too slow to track the {self.platform.bus.name} bus "
+                    f"({bus_period_ns:.0f} ns cycle)"
+                )
+        window = getattr(self.platform.bus, "window", None)
+        if window is not None and len(result.address_map) > window:
+            problems.append(
+                f"address map needs {len(result.address_map)} locations, "
+                f"bus window offers {window}"
+            )
+        return problems

@@ -1,0 +1,47 @@
+"""High-level synthesis passes.
+
+The hardware synthesis path of the flow: behavioural FSMs are turned into
+FSMDs (finite state machine + datapath) through the classic sequence
+
+1. data-flow graph extraction per FSM state (:mod:`repro.cosyn.hls.dfg`),
+2. scheduling into control steps — ASAP, ALAP and resource-constrained list
+   scheduling (:mod:`repro.cosyn.hls.scheduling`),
+3. functional-unit and register allocation/binding
+   (:mod:`repro.cosyn.hls.allocation`),
+4. FSMD construction and RTL netlist generation
+   (:mod:`repro.cosyn.hls.fsmd`, :mod:`repro.cosyn.hls.rtl`),
+5. area/timing estimation against the XC4000 device model
+   (:mod:`repro.cosyn.hls.estimate`).
+"""
+
+from repro.cosyn.hls.dfg import DataFlowGraph, Operation, build_state_dfg, build_fsm_dfgs
+from repro.cosyn.hls.scheduling import (
+    asap_schedule,
+    alap_schedule,
+    list_schedule,
+    Schedule,
+)
+from repro.cosyn.hls.allocation import Allocation, allocate
+from repro.cosyn.hls.fsmd import Fsmd, build_fsmd
+from repro.cosyn.hls.estimate import AreaTimingEstimate, estimate_fsmd
+from repro.cosyn.hls.rtl import RtlNetlist, build_netlist, emit_rtl_vhdl
+
+__all__ = [
+    "DataFlowGraph",
+    "Operation",
+    "build_state_dfg",
+    "build_fsm_dfgs",
+    "asap_schedule",
+    "alap_schedule",
+    "list_schedule",
+    "Schedule",
+    "Allocation",
+    "allocate",
+    "Fsmd",
+    "build_fsmd",
+    "AreaTimingEstimate",
+    "estimate_fsmd",
+    "RtlNetlist",
+    "build_netlist",
+    "emit_rtl_vhdl",
+]

@@ -1,0 +1,134 @@
+"""Functional-unit and register allocation / binding.
+
+Allocation decides how many physical resources the datapath needs; binding
+assigns every operation to a concrete functional-unit instance and every FSM
+variable to a register.  The algorithms are the standard greedy ones:
+
+* functional units — per class, the maximum number of operations of that
+  class active in any control step of any state (states execute one at a
+  time, so units are shared across states),
+* operation binding — left-edge style: within a control step operations are
+  assigned to the lowest-numbered free unit of their class,
+* registers — one per FSM variable plus one per multi-step intermediate
+  value (an operation whose consumer is scheduled in a later control step).
+"""
+
+from repro.utils.errors import SynthesisError
+
+
+class FunctionalUnit:
+    """One allocated datapath resource."""
+
+    def __init__(self, name, fu_class, operators, width=16):
+        self.name = name
+        self.fu_class = fu_class
+        self.operators = sorted(set(operators))
+        self.width = width
+
+    def __repr__(self):
+        return f"FunctionalUnit({self.name}, {self.fu_class}, ops={self.operators})"
+
+
+class Allocation:
+    """The result of allocation/binding over all states of one FSM."""
+
+    def __init__(self, fsm_name):
+        self.fsm_name = fsm_name
+        self.functional_units = []
+        self.operation_binding = {}
+        self.registers = []
+        self.intermediate_registers = 0
+        self.mux_inputs = 0
+
+    def units_of_class(self, fu_class):
+        return [unit for unit in self.functional_units if unit.fu_class == fu_class]
+
+    def unit_count(self):
+        return len(self.functional_units)
+
+    def register_count(self):
+        return len(self.registers) + self.intermediate_registers
+
+    def summary(self):
+        return {
+            "fsm": self.fsm_name,
+            "functional_units": {
+                unit.name: unit.fu_class for unit in self.functional_units
+            },
+            "registers": self.register_count(),
+            "mux_inputs": self.mux_inputs,
+        }
+
+    def __repr__(self):
+        return (
+            f"Allocation({self.fsm_name}, units={self.unit_count()}, "
+            f"registers={self.register_count()})"
+        )
+
+
+def allocate(fsm, schedules, width=16):
+    """Allocate and bind resources for *fsm* given its per-state *schedules*.
+
+    *schedules* maps state name to :class:`~repro.cosyn.hls.scheduling.Schedule`.
+    """
+    allocation = Allocation(fsm.name)
+
+    # ----------------------------------------------------- functional units
+    needed = {}
+    operators_per_class = {}
+    for schedule in schedules.values():
+        for step in range(schedule.length):
+            per_class = {}
+            for operation in schedule.operations_in_step(step):
+                if operation.fu_class == "move":
+                    continue
+                per_class[operation.fu_class] = per_class.get(operation.fu_class, 0) + 1
+                operators_per_class.setdefault(operation.fu_class, set()).add(operation.op)
+            for fu_class, count in per_class.items():
+                needed[fu_class] = max(needed.get(fu_class, 0), count)
+    for fu_class in sorted(needed):
+        for index in range(needed[fu_class]):
+            allocation.functional_units.append(
+                FunctionalUnit(
+                    f"{fu_class}{index}", fu_class,
+                    operators_per_class.get(fu_class, ()), width=width,
+                )
+            )
+
+    # ---------------------------------------------------- operation binding
+    for state_name, schedule in schedules.items():
+        for step in range(schedule.length):
+            used_per_class = {}
+            for operation in schedule.operations_in_step(step):
+                if operation.fu_class == "move":
+                    allocation.operation_binding[operation.op_id] = "interconnect"
+                    continue
+                index = used_per_class.get(operation.fu_class, 0)
+                units = allocation.units_of_class(operation.fu_class)
+                if index >= len(units):
+                    raise SynthesisError(
+                        f"binding overflow for class {operation.fu_class!r} in state "
+                        f"{state_name!r} step {step}"
+                    )
+                allocation.operation_binding[operation.op_id] = units[index].name
+                used_per_class[operation.fu_class] = index + 1
+
+    # -------------------------------------------------------------- registers
+    allocation.registers = sorted(fsm.variables)
+    intermediates = 0
+    for schedule in schedules.values():
+        for producer, consumer in schedule.dfg.edges:
+            if schedule.assignment[consumer] > schedule.assignment[producer]:
+                intermediates += 1
+    allocation.intermediate_registers = intermediates
+
+    # ------------------------------------------------------------------ muxes
+    # Every functional unit fed by more than one distinct source needs input
+    # multiplexers; approximate the mux complexity by the number of bound
+    # operations in excess of the unit count.
+    bound_real_ops = [
+        op_id for op_id, unit in allocation.operation_binding.items()
+        if unit != "interconnect"
+    ]
+    allocation.mux_inputs = max(0, len(bound_real_ops) - allocation.unit_count())
+    return allocation

@@ -1,0 +1,228 @@
+"""Data-flow graph extraction.
+
+For every FSM state the statements (state actions plus the actions and
+guards of its transitions) are flattened into a small data-flow graph of
+*operations*.  An operation corresponds to one arithmetic/logic operator
+instance; its inputs are constants, variables, port reads or the outputs of
+earlier operations of the same state.
+
+The DFG is intentionally per-state: the FSM structure already provides the
+coarse control steps, high-level synthesis only has to schedule the work
+*inside* each state.
+"""
+
+import itertools
+
+from repro.ir.expr import BinOp, Const, PortRef, UnOp, Var
+from repro.ir.stmt import Assign, If, Nop, PortWrite
+from repro.utils.errors import SynthesisError
+
+#: Functional-unit class of each operator.
+OPERATOR_CLASS = {
+    "add": "alu", "sub": "alu", "neg": "alu", "abs": "alu",
+    "min": "alu", "max": "alu",
+    "eq": "cmp", "ne": "cmp", "lt": "cmp", "le": "cmp", "gt": "cmp", "ge": "cmp",
+    "and": "logic", "or": "logic", "xor": "logic", "not": "logic",
+    "mul": "mult",
+    "div": "divider", "mod": "divider",
+    "mov": "move",
+}
+
+
+class Operation:
+    """One operator instance of a state's data-flow graph."""
+
+    def __init__(self, op_id, op, inputs, width=16, writes_port=None, defines=None):
+        self.op_id = op_id
+        self.op = op
+        self.inputs = tuple(inputs)
+        self.width = width
+        self.writes_port = writes_port
+        self.defines = defines
+        self.fu_class = OPERATOR_CLASS.get(op, "alu")
+
+    def __repr__(self):
+        target = self.defines or self.writes_port or "_"
+        return f"Operation({self.op_id}: {target} = {self.op}{list(self.inputs)})"
+
+
+class DataFlowGraph:
+    """Operations plus dependency edges for one FSM state."""
+
+    def __init__(self, state_name):
+        self.state_name = state_name
+        self.operations = []
+        self.edges = []
+        self.port_reads = []
+        self.port_writes = []
+
+    def add_operation(self, operation):
+        self.operations.append(operation)
+        return operation
+
+    def add_edge(self, producer_id, consumer_id):
+        self.edges.append((producer_id, consumer_id))
+
+    def predecessors(self, op_id):
+        return [src for src, dst in self.edges if dst == op_id]
+
+    def successors(self, op_id):
+        return [dst for src, dst in self.edges if src == op_id]
+
+    def operation(self, op_id):
+        for operation in self.operations:
+            if operation.op_id == op_id:
+                return operation
+        raise SynthesisError(f"unknown operation id {op_id}")
+
+    def roots(self):
+        """Operations with no predecessors."""
+        have_preds = {dst for _, dst in self.edges}
+        return [op for op in self.operations if op.op_id not in have_preds]
+
+    def critical_length(self):
+        """Length (in operations) of the longest dependency chain."""
+        memo = {}
+
+        def depth(op_id):
+            if op_id in memo:
+                return memo[op_id]
+            preds = self.predecessors(op_id)
+            value = 1 + (max(depth(p) for p in preds) if preds else 0)
+            memo[op_id] = value
+            return value
+
+        return max((depth(op.op_id) for op in self.operations), default=0)
+
+    def operator_histogram(self):
+        counts = {}
+        for operation in self.operations:
+            counts[operation.op] = counts.get(operation.op, 0) + 1
+        return counts
+
+    def __len__(self):
+        return len(self.operations)
+
+    def __repr__(self):
+        return f"DataFlowGraph({self.state_name}, ops={len(self.operations)})"
+
+
+class _Extractor:
+    """Walks statements of one state and builds the DFG."""
+
+    def __init__(self, state_name, width=16):
+        self.dfg = DataFlowGraph(state_name)
+        self.width = width
+        self._ids = itertools.count(1)
+        # variable name -> op_id of its latest definition inside the state
+        self._last_def = {}
+
+    def _new_id(self):
+        return f"{self.dfg.state_name}_op{next(self._ids)}"
+
+    def _expr_sources(self, expr):
+        """Return (inputs, producer_ids) describing *expr* for an operation."""
+        if isinstance(expr, Const):
+            return [("const", expr.value)], []
+        if isinstance(expr, Var):
+            producer = self._last_def.get(expr.name)
+            return [("var", expr.name)], [producer] if producer else []
+        if isinstance(expr, PortRef):
+            if expr.port_name not in self.dfg.port_reads:
+                self.dfg.port_reads.append(expr.port_name)
+            return [("port", expr.port_name)], []
+        # Compound expression: emit an operation and reference its result.
+        op_id = self._emit_expr(expr)
+        return [("op", op_id)], [op_id]
+
+    def _emit_expr(self, expr):
+        if isinstance(expr, BinOp):
+            left_inputs, left_deps = self._expr_sources(expr.left)
+            right_inputs, right_deps = self._expr_sources(expr.right)
+            op_id = self._new_id()
+            operation = Operation(op_id, expr.op, left_inputs + right_inputs,
+                                  width=self.width)
+            self.dfg.add_operation(operation)
+            for dep in left_deps + right_deps:
+                self.dfg.add_edge(dep, op_id)
+            return op_id
+        if isinstance(expr, UnOp):
+            inputs, deps = self._expr_sources(expr.operand)
+            op_id = self._new_id()
+            operation = Operation(op_id, expr.op, inputs, width=self.width)
+            self.dfg.add_operation(operation)
+            for dep in deps:
+                self.dfg.add_edge(dep, op_id)
+            return op_id
+        raise SynthesisError(f"cannot extract operations from {expr!r}")
+
+    def _value_of(self, expr, kind, target):
+        """Produce an operation computing *expr* (a move when it is simple)."""
+        if isinstance(expr, (Const, Var, PortRef)):
+            inputs, deps = self._expr_sources(expr)
+            op_id = self._new_id()
+            operation = Operation(
+                op_id, "mov", inputs, width=self.width,
+                writes_port=target if kind == "port" else None,
+                defines=target if kind == "var" else None,
+            )
+            self.dfg.add_operation(operation)
+            for dep in deps:
+                self.dfg.add_edge(dep, op_id)
+            return op_id
+        op_id = self._emit_expr(expr)
+        operation = self.dfg.operation(op_id)
+        if kind == "port":
+            operation.writes_port = target
+        else:
+            operation.defines = target
+        return op_id
+
+    def statement(self, stmt, guard_deps=()):
+        if isinstance(stmt, Assign):
+            op_id = self._value_of(stmt.expr, "var", stmt.target)
+            for dep in guard_deps:
+                self.dfg.add_edge(dep, op_id)
+            self._last_def[stmt.target] = op_id
+        elif isinstance(stmt, PortWrite):
+            op_id = self._value_of(stmt.expr, "port", stmt.port_name)
+            for dep in guard_deps:
+                self.dfg.add_edge(dep, op_id)
+            if stmt.port_name not in self.dfg.port_writes:
+                self.dfg.port_writes.append(stmt.port_name)
+        elif isinstance(stmt, If):
+            cond_id = None
+            if isinstance(stmt.cond, (BinOp, UnOp)):
+                cond_id = self._emit_expr(stmt.cond)
+            deps = list(guard_deps) + ([cond_id] if cond_id else [])
+            for inner in stmt.then + stmt.orelse:
+                self.statement(inner, guard_deps=deps)
+        elif isinstance(stmt, Nop):
+            return
+        else:
+            raise SynthesisError(f"cannot extract operations from {stmt!r}")
+
+    def guard(self, expr):
+        if isinstance(expr, (BinOp, UnOp)):
+            self._emit_expr(expr)
+        elif isinstance(expr, PortRef):
+            if expr.port_name not in self.dfg.port_reads:
+                self.dfg.port_reads.append(expr.port_name)
+
+
+def build_state_dfg(state, width=16):
+    """Build the data-flow graph of one FSM state."""
+    extractor = _Extractor(state.name, width=width)
+    for stmt in state.actions:
+        extractor.statement(stmt)
+    for transition in state.transitions:
+        if transition.guard is not None:
+            extractor.guard(transition.guard)
+        for stmt in transition.actions:
+            extractor.statement(stmt)
+    return extractor.dfg
+
+
+def build_fsm_dfgs(fsm, width=16):
+    """Build the per-state data-flow graphs of a whole FSM."""
+    return {state.name: build_state_dfg(state, width=width) for state in fsm.iter_states()}

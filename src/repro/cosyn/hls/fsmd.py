@@ -1,0 +1,97 @@
+"""FSMD construction: merge the behavioural FSM with its schedules.
+
+Each behavioural state expands into ``max(1, schedule.length)`` controller
+states (one per control step); transitions leave from the last control step
+of their source state, preserving the original FSM's control structure.  The
+FSMD is what the RTL generator and the estimator work on, and its state
+count is the figure reported in the synthesis tables.
+"""
+
+from repro.utils.errors import SynthesisError
+
+
+class FsmdState:
+    """One controller state of the FSMD."""
+
+    def __init__(self, name, source_state, step, operations):
+        self.name = name
+        self.source_state = source_state
+        self.step = step
+        self.operations = list(operations)
+
+    def __repr__(self):
+        return f"FsmdState({self.name}, ops={len(self.operations)})"
+
+
+class Fsmd:
+    """Finite state machine with datapath for one behavioural FSM."""
+
+    def __init__(self, fsm, allocation):
+        self.fsm = fsm
+        self.allocation = allocation
+        self.states = []
+        self.transitions = []
+
+    @property
+    def state_count(self):
+        return len(self.states)
+
+    def states_of(self, source_state):
+        return [state for state in self.states if state.source_state == source_state]
+
+    def controller_bits(self):
+        """State-register width of the FSMD controller."""
+        count = max(self.state_count, 1)
+        bits = 1
+        while (1 << bits) < count:
+            bits += 1
+        return bits
+
+    def summary(self):
+        return {
+            "fsm": self.fsm.name,
+            "behavioural_states": len(self.fsm.states),
+            "fsmd_states": self.state_count,
+            "transitions": len(self.transitions),
+            "functional_units": self.allocation.unit_count(),
+            "registers": self.allocation.register_count(),
+        }
+
+    def __repr__(self):
+        return f"Fsmd({self.fsm.name}, states={self.state_count})"
+
+
+def build_fsmd(fsm, schedules, allocation):
+    """Build the FSMD of *fsm* from its schedules and allocation."""
+    fsmd = Fsmd(fsm, allocation)
+    last_cstep_state = {}
+    for state in fsm.iter_states():
+        schedule = schedules.get(state.name)
+        if schedule is None:
+            raise SynthesisError(f"no schedule for state {state.name!r}")
+        steps = max(1, schedule.length)
+        for step in range(steps):
+            operations = schedule.operations_in_step(step) if schedule.length else []
+            name = state.name if steps == 1 else f"{state.name}_c{step}"
+            fsmd.states.append(FsmdState(name, state.name, step, operations))
+            if step > 0:
+                fsmd.transitions.append((f"{state.name}_c{step - 1}" if steps > 1 and step - 1 > 0
+                                         else (state.name if steps == 1 else f"{state.name}_c0"),
+                                         name, None))
+        last_cstep_state[state.name] = (
+            state.name if steps == 1 else f"{state.name}_c{steps - 1}"
+        )
+    for state in fsm.iter_states():
+        source = last_cstep_state[state.name]
+        for transition in state.transitions:
+            target_first = _first_state_name(fsm, schedules, transition.target)
+            fsmd.transitions.append((source, target_first, transition))
+    return fsmd
+
+
+def _first_state_name(fsm, schedules, state_name):
+    schedule = schedules.get(state_name)
+    if schedule is None:
+        raise SynthesisError(f"no schedule for state {state_name!r}")
+    steps = max(1, schedule.length)
+    return state_name if steps == 1 else f"{state_name}_c0"

@@ -1,0 +1,143 @@
+"""Hardware synthesis.
+
+Each process of a hardware module goes through the high-level synthesis
+pipeline (DFG → schedule → allocate → FSMD → RTL → estimate); the module's
+estimates are merged and checked against the target FPGA.  The behavioural
+VHDL (entity + architecture + HW views of the services the module calls) is
+emitted alongside the RTL so the result matches what the paper hands to its
+synthesis tools.
+"""
+
+from repro.cosyn.hls.allocation import allocate
+from repro.cosyn.hls.dfg import build_fsm_dfgs
+from repro.cosyn.hls.estimate import estimate_fsmd
+from repro.cosyn.hls.fsmd import build_fsmd
+from repro.cosyn.hls.rtl import build_netlist, emit_rtl_vhdl
+from repro.cosyn.hls.scheduling import DEFAULT_RESOURCES, list_schedule
+from repro.hdl.emitter import emit_module
+from repro.utils.errors import SynthesisError
+from repro.utils.text import format_table
+
+
+class ProcessSynthesis:
+    """Synthesis artefacts of one hardware process."""
+
+    def __init__(self, fsm, schedules, allocation, fsmd, netlist, rtl_text, estimate):
+        self.fsm = fsm
+        self.schedules = schedules
+        self.allocation = allocation
+        self.fsmd = fsmd
+        self.netlist = netlist
+        self.rtl_text = rtl_text
+        self.estimate = estimate
+
+    def __repr__(self):
+        return f"ProcessSynthesis({self.fsm.name}, {self.estimate.clbs_total} CLBs)"
+
+
+class HardwareSynthesisResult:
+    """Everything hardware synthesis produced for one module."""
+
+    def __init__(self, module, platform_name, device, processes, behavioural_vhdl,
+                 estimate, clock_ns):
+        self.module = module
+        self.platform_name = platform_name
+        self.device = device
+        self.processes = dict(processes)
+        self.behavioural_vhdl = behavioural_vhdl
+        self.estimate = estimate
+        self.clock_ns = clock_ns
+
+    @property
+    def fits_device(self):
+        return self.device is not None and self.estimate.fits(self.device)
+
+    @property
+    def max_frequency_hz(self):
+        return self.estimate.max_frequency_hz
+
+    @property
+    def achievable_clock_ns(self):
+        """Smallest clock period (ns, integer) the synthesized module supports."""
+        return max(1, int(round(self.estimate.critical_path_ns + 0.5)))
+
+    def utilisation(self):
+        if self.device is None:
+            return None
+        return self.estimate.clbs_total / self.device.clb_count
+
+    def report(self):
+        rows = []
+        for name, process in sorted(self.processes.items()):
+            data = process.estimate.as_dict()
+            rows.append((name, process.fsmd.state_count, data["clbs_total"],
+                         data["critical_path_ns"]))
+        table = format_table(
+            ["process", "FSMD states", "CLBs", "critical path (ns)"], rows
+        )
+        lines = [
+            f"hardware synthesis of {self.module.name} for {self.platform_name}",
+            table,
+            f"total: {self.estimate.clbs_total} CLBs, "
+            f"critical path {self.estimate.critical_path_ns:.1f} ns, "
+            f"device {self.device.name if self.device else 'n/a'} "
+            f"({'fits' if self.fits_device else 'DOES NOT FIT'})",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"HardwareSynthesisResult({self.module.name}@{self.platform_name}, "
+            f"{self.estimate.clbs_total} CLBs, fits={self.fits_device})"
+        )
+
+
+def synthesize_process(fsm, resources=None, width=16):
+    """Run the HLS pipeline for one behavioural FSM."""
+    resources = dict(DEFAULT_RESOURCES if resources is None else resources)
+    dfgs = build_fsm_dfgs(fsm, width=width)
+    schedules = {name: list_schedule(dfg, resources) for name, dfg in dfgs.items()}
+    for name, schedule in schedules.items():
+        problems = schedule.verify()
+        if problems:
+            raise SynthesisError(
+                f"schedule of state {name!r} of {fsm.name!r} is invalid: {problems}"
+            )
+    allocation = allocate(fsm, schedules, width=width)
+    fsmd = build_fsmd(fsm, schedules, allocation)
+    netlist = build_netlist(fsmd, width=width)
+    rtl_text = emit_rtl_vhdl(fsmd, netlist, width=width)
+    estimate = estimate_fsmd(fsmd, width=width)
+    return ProcessSynthesis(fsm, schedules, allocation, fsmd, netlist, rtl_text, estimate)
+
+
+def synthesize_hardware(target, module, resources=None, width=16):
+    """Run hardware synthesis for one module of a target architecture."""
+    if module not in target.hardware_modules():
+        raise SynthesisError(
+            f"module {module.name!r} is not a hardware module of this target"
+        )
+    platform = target.platform
+    if platform.device is None:
+        raise SynthesisError(
+            f"platform {platform.name!r} offers no FPGA device for hardware synthesis"
+        )
+    processes = {}
+    estimate = None
+    for fsm in module.behaviours():
+        process = synthesize_process(fsm, resources=resources, width=width)
+        processes[fsm.name] = process
+        estimate = process.estimate if estimate is None else estimate.merge(process.estimate)
+    estimate.name = module.name
+
+    services = []
+    for service_name in module.services_used():
+        unit = target.model.unit_for(module.name, service_name)
+        services.append(unit.service(service_name))
+    behavioural_vhdl = emit_module(module, services)
+
+    clock_ns = max(target.hw_clock_ns(), int(round(estimate.critical_path_ns + 0.5)))
+    return HardwareSynthesisResult(
+        module, platform.name, platform.device, processes, behavioural_vhdl,
+        estimate, clock_ns,
+    )

@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel with VHDL semantics.
+
+This package is the substrate that replaces the commercial VHDL simulator
+used by the paper.  It provides:
+
+* :class:`~repro.desim.simtime.SimTime` helpers — integer nanosecond time
+  plus delta cycles,
+* :class:`~repro.desim.signal.Signal` — signals with scheduled transactions,
+  ``'event'`` detection and last-change bookkeeping,
+* :class:`~repro.desim.process.Process` — VHDL-style processes, either with a
+  sensitivity list or as Python generators yielding wait conditions,
+* :class:`~repro.desim.kernel.Simulator` — the two-phase (signal update /
+  process execution) delta-cycle scheduler,
+* :class:`~repro.desim.waveform.WaveformRecorder` — value-change tracing with
+  a VCD-style dump,
+* :class:`~repro.desim.monitor.Monitor` — invariant checks evaluated after
+  every delta cycle.
+"""
+
+from repro.desim.simtime import NS, US, MS, SEC, format_time
+from repro.desim.events import Timeout, SignalChange, Delta, WaitCondition
+from repro.desim.signal import Signal
+from repro.desim.process import Process
+from repro.desim.kernel import Simulator
+from repro.desim.waveform import WaveformRecorder
+from repro.desim.monitor import Monitor
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "format_time",
+    "Timeout",
+    "SignalChange",
+    "Delta",
+    "WaitCondition",
+    "Signal",
+    "Process",
+    "Simulator",
+    "WaveformRecorder",
+    "Monitor",
+]

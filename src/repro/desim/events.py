@@ -1,0 +1,55 @@
+"""Wait conditions yielded by generator-style simulation processes.
+
+A generator process communicates with the kernel by yielding one of these
+objects; the kernel suspends the process until the condition is met, exactly
+like VHDL ``wait`` statements:
+
+* ``Timeout(delay)``       — ``wait for delay``
+* ``SignalChange(sigs)``   — ``wait on sigs``
+* ``SignalChange(sigs, timeout=d)`` — ``wait on sigs for d``
+* ``Delta()``              — ``wait for 0 ns`` (resume next delta cycle)
+"""
+
+from repro.desim.simtime import check_delay
+
+
+class WaitCondition:
+    """Base class for everything a process may yield to the kernel."""
+
+
+class Timeout(WaitCondition):
+    """Suspend the process for a fixed number of nanoseconds."""
+
+    def __init__(self, delay):
+        self.delay = check_delay(delay)
+
+    def __repr__(self):
+        return f"Timeout({self.delay})"
+
+
+class Delta(WaitCondition):
+    """Suspend the process until the next delta cycle."""
+
+    def __repr__(self):
+        return "Delta()"
+
+
+class SignalChange(WaitCondition):
+    """Suspend the process until any of *signals* has an event.
+
+    An optional *timeout* bounds the wait; when it expires the process is
+    resumed even without an event (the process can inspect signal ``event``
+    attributes to distinguish the two cases).
+    """
+
+    def __init__(self, *signals, timeout=None):
+        if not signals:
+            raise ValueError("SignalChange requires at least one signal")
+        self.signals = tuple(signals)
+        self.timeout = None if timeout is None else check_delay(timeout)
+
+    def __repr__(self):
+        names = ", ".join(sig.name for sig in self.signals)
+        if self.timeout is None:
+            return f"SignalChange({names})"
+        return f"SignalChange({names}, timeout={self.timeout})"

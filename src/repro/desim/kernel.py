@@ -1,0 +1,356 @@
+"""The delta-cycle simulation kernel.
+
+The kernel follows the VHDL simulation cycle:
+
+1. **Signal update phase** — all transactions scheduled for the current
+   ``(time, delta)`` are applied; signals whose value changes get an event.
+2. **Process execution phase** — processes sensitive to (or waiting on) the
+   signals with events, plus processes whose timed waits expire, are run.
+   Zero-delay assignments they perform become transactions for the next
+   delta cycle of the same physical time.
+
+The cycle repeats until no delta activity remains, then time advances to the
+next scheduled transaction or process timeout.
+"""
+
+import heapq
+import itertools
+
+from repro.desim.events import Delta, SignalChange, Timeout
+from repro.desim.process import Process
+from repro.desim.signal import Signal
+from repro.desim.simtime import check_delay, format_time
+from repro.utils.errors import SimulationError
+
+
+class _GenWait:
+    """Book-keeping for a suspended generator process."""
+
+    __slots__ = ("process", "signals", "resume_at")
+
+    def __init__(self, process, signals=(), resume_at=None):
+        self.process = process
+        self.signals = tuple(signals)
+        self.resume_at = resume_at
+
+
+class Simulator:
+    """Discrete-event simulator holding signals and processes.
+
+    Typical use::
+
+        sim = Simulator()
+        clk = sim.add_clock("clk", period=100)
+        data = sim.add_signal("data", init=0)
+        sim.add_process("producer", produce, sensitivity=[clk])
+        sim.run(until=10_000)
+    """
+
+    def __init__(self, max_deltas=10_000):
+        self.max_deltas = max_deltas
+        self.now = 0
+        self.delta = 0
+        self.signals = {}
+        self.processes = {}
+        self.recorders = []
+        self.monitors = []
+        self._seq = itertools.count()
+        # Future transactions: heap of (time, seq, signal, value).
+        self._future = []
+        # Transactions for the next delta of the current time: [(signal, value)].
+        self._delta_queue = []
+        self._sensitivity = {}
+        self._gen_waits = {}
+        self._started = False
+        self.statistics = {
+            "delta_cycles": 0,
+            "process_runs": 0,
+            "transactions": 0,
+            "time_points": 0,
+        }
+
+    # ------------------------------------------------------------------ setup
+
+    def add_signal(self, name, init=0, dtype=None):
+        """Create and register a :class:`Signal`; returns it."""
+        if name in self.signals:
+            raise SimulationError(f"duplicate signal name {name!r}")
+        signal = Signal(name, init=init, dtype=dtype)
+        self.signals[name] = signal
+        return signal
+
+    def register_signal(self, signal):
+        """Register an externally created signal (e.g. a ResolvedSignal)."""
+        if signal.name in self.signals:
+            raise SimulationError(f"duplicate signal name {signal.name!r}")
+        self.signals[signal.name] = signal
+        return signal
+
+    def add_process(self, name, func, sensitivity=(), initial_run=True):
+        """Register a process; *func* is a callable or generator function."""
+        if name in self.processes:
+            raise SimulationError(f"duplicate process name {name!r}")
+        process = Process(name, func, sensitivity=sensitivity, initial_run=initial_run)
+        self.processes[name] = process
+        for signal in process.sensitivity:
+            self._sensitivity.setdefault(signal.name, set()).add(process.name)
+        return process
+
+    def add_clock(self, name, period, start_value=0, start_delay=0):
+        """Create a free-running clock signal toggling every ``period/2`` ns."""
+        check_delay(period)
+        if period < 2 or period % 2:
+            raise SimulationError("clock period must be an even number of ns >= 2")
+        clock = self.add_signal(name, init=start_value)
+        half = period // 2
+
+        def toggler():
+            if start_delay:
+                yield Timeout(start_delay)
+            while True:
+                self.schedule(clock, 1 - clock.value, 0)
+                yield Timeout(half)
+
+        self.add_process(f"{name}_gen", toggler)
+        return clock
+
+    def add_recorder(self, recorder):
+        """Attach a waveform recorder (anything with ``record(time, signal)``)."""
+        self.recorders.append(recorder)
+        return recorder
+
+    def add_monitor(self, monitor):
+        """Attach a monitor checked after every delta cycle."""
+        self.monitors.append(monitor)
+        return monitor
+
+    # --------------------------------------------------------------- schedule
+
+    def schedule(self, signal, value, delay=0):
+        """Schedule a transaction on *signal* after *delay* nanoseconds.
+
+        A zero delay means "next delta cycle", exactly like a VHDL signal
+        assignment with no after clause.
+        """
+        check_delay(delay)
+        self.statistics["transactions"] += 1
+        if delay == 0:
+            self._delta_queue.append((signal, value))
+        else:
+            heapq.heappush(
+                self._future, (self.now + delay, next(self._seq), signal, value)
+            )
+
+    # -------------------------------------------------------------------- run
+
+    def _start(self):
+        self._started = True
+        for recorder in self.recorders:
+            recorder.start(self)
+        runnable = []
+        for process in self.processes.values():
+            process.start()
+            if process.initial_run:
+                runnable.append(process)
+        self._run_processes(runnable)
+        self._drain_deltas()
+
+    def run(self, until=None, max_time=None):
+        """Run the simulation.
+
+        *until* (alias *max_time*) is an absolute stop time in nanoseconds;
+        when omitted the simulation runs until no activity remains.  Returns
+        the simulation time reached.
+        """
+        if until is None:
+            until = max_time
+        if not self._started:
+            self._start()
+        while True:
+            next_time = self._next_activity_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            self.now = next_time
+            self.statistics["time_points"] += 1
+            self._begin_time_point()
+            self._drain_deltas()
+            if until is not None and self.now >= until:
+                break
+        return self.now
+
+    def run_for(self, duration):
+        """Run for *duration* additional nanoseconds."""
+        return self.run(until=self.now + check_delay(duration))
+
+    # ---------------------------------------------------------------- phases
+
+    def _next_activity_time(self):
+        candidates = []
+        if self._future:
+            candidates.append(self._future[0][0])
+        for wait in self._gen_waits.values():
+            if wait.resume_at is not None:
+                candidates.append(wait.resume_at)
+        if not candidates:
+            return None
+        earliest = min(candidates)
+        if earliest <= self.now:
+            # Activity scheduled "now" is handled by the delta loop already;
+            # guard against time standing still.
+            return self.now if earliest == self.now else None
+        return earliest
+
+    def _begin_time_point(self):
+        """Move matured future transactions into the delta queue and wake timeouts."""
+        while self._future and self._future[0][0] <= self.now:
+            _, _, signal, value = heapq.heappop(self._future)
+            self._delta_queue.append((signal, value))
+
+    def _expired_waits(self):
+        expired = []
+        for name, wait in list(self._gen_waits.items()):
+            if wait.resume_at is not None and wait.resume_at <= self.now:
+                expired.append(self._gen_waits.pop(name).process)
+        return expired
+
+    def _drain_deltas(self):
+        self.delta = 0
+        while True:
+            changed = self._update_phase()
+            runnable = self._collect_runnable(changed)
+            for process in self._expired_waits():
+                if process not in runnable:
+                    runnable.append(process)
+            if not changed and not runnable and not self._delta_queue:
+                break
+            self._run_processes(runnable)
+            for signal in changed:
+                signal.clear_event()
+            self._check_monitors()
+            self.delta += 1
+            self.statistics["delta_cycles"] += 1
+            if self.delta > self.max_deltas:
+                raise SimulationError(
+                    f"delta-cycle limit exceeded at {format_time(self.now)}; "
+                    "combinational loop or zero-delay oscillation"
+                )
+
+    def _update_phase(self):
+        staged = []
+        queue, self._delta_queue = self._delta_queue, []
+        for signal, value in queue:
+            signal.stage(value)
+            staged.append(signal)
+        changed = []
+        seen = set()
+        for signal in staged:
+            if id(signal) in seen:
+                continue
+            seen.add(id(signal))
+            if signal.apply_pending(self.now):
+                changed.append(signal)
+                if signal.name in self.signals:
+                    for recorder in self.recorders:
+                        recorder.record(self.now, signal)
+        return changed
+
+    def _collect_runnable(self, changed):
+        runnable = []
+        picked = set()
+        for signal in changed:
+            for proc_name in self._sensitivity.get(signal.name, ()):  # sensitivity
+                if proc_name not in picked:
+                    picked.add(proc_name)
+                    runnable.append(self.processes[proc_name])
+            for name, wait in list(self._gen_waits.items()):
+                if name in picked:
+                    continue
+                if any(sig is signal for sig in wait.signals):
+                    picked.add(name)
+                    runnable.append(wait.process)
+                    del self._gen_waits[name]
+        return runnable
+
+    def _run_processes(self, runnable):
+        for process in runnable:
+            if process.finished:
+                continue
+            self.statistics["process_runs"] += 1
+            condition = process.step()
+            if not process.is_generator or process.finished:
+                continue
+            self._suspend(process, condition)
+
+    def _suspend(self, process, condition):
+        if condition is None:
+            return
+        if isinstance(condition, Timeout):
+            self._gen_waits[process.name] = _GenWait(
+                process, resume_at=self.now + condition.delay
+            )
+        elif isinstance(condition, Delta):
+            # Resume at the next delta: emulate by scheduling a wait that
+            # expires immediately; the delta loop picks it up because the
+            # queue check includes waits due "now".
+            self._gen_waits[process.name] = _GenWait(process, resume_at=self.now)
+            self._delta_queue.append((_NullSignal.instance(), 0))
+        elif isinstance(condition, SignalChange):
+            resume_at = None
+            if condition.timeout is not None:
+                resume_at = self.now + condition.timeout
+            self._gen_waits[process.name] = _GenWait(
+                process, signals=condition.signals, resume_at=resume_at
+            )
+        else:  # pragma: no cover - Process.step already validates
+            raise SimulationError(f"unknown wait condition {condition!r}")
+
+    def _check_monitors(self):
+        for monitor in self.monitors:
+            monitor.check(self)
+
+    # ---------------------------------------------------------------- helpers
+
+    def signal(self, name):
+        """Return a registered signal by name."""
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise SimulationError(f"unknown signal {name!r}") from None
+
+    def peek(self, name):
+        """Return the current value of the signal called *name*."""
+        return self.signal(name).value
+
+    def poke(self, name, value, delay=0):
+        """Schedule *value* on the signal called *name* (testbench helper)."""
+        self.schedule(self.signal(name), value, delay)
+
+    def __repr__(self):
+        return (
+            f"Simulator(now={format_time(self.now)}, signals={len(self.signals)}, "
+            f"processes={len(self.processes)})"
+        )
+
+
+class _NullSignal(Signal):
+    """Internal signal used to force an extra delta cycle for ``Delta`` waits."""
+
+    _instance = None
+
+    def __init__(self):
+        super().__init__("nulldelta", init=0)
+        self._toggle = 0
+
+    def stage(self, value):
+        # Always produce an event so the delta loop runs once more.
+        self._toggle = 1 - self._toggle
+        super().stage(self._toggle)
+
+    @classmethod
+    def instance(cls):
+        if cls._instance is None:
+            cls._instance = cls()
+        return cls._instance

@@ -1,0 +1,89 @@
+"""Monitors: invariants checked after every delta cycle.
+
+Monitors replace the assertion statements of the VHDL testbench: the
+co-simulation session uses them to check protocol invariants (e.g. "DATAIN is
+stable while B_FULL is asserted") and the real-time constraints of the motor
+controller.
+"""
+
+
+class Violation:
+    """One recorded violation of a monitor predicate."""
+
+    def __init__(self, time, message):
+        self.time = time
+        self.message = message
+
+    def __repr__(self):
+        return f"Violation(t={self.time}, {self.message!r})"
+
+
+class Monitor:
+    """Evaluates a predicate over the simulator state after each delta cycle.
+
+    Parameters
+    ----------
+    name:
+        Monitor name used in reports.
+    predicate:
+        Callable ``predicate(simulator) -> bool``; ``False`` records a
+        violation.
+    message:
+        Human-readable description of the invariant.
+    fail_fast:
+        When true, the first violation raises immediately.
+    """
+
+    def __init__(self, name, predicate, message=None, fail_fast=False):
+        self.name = name
+        self.predicate = predicate
+        self.message = message or f"monitor {name} failed"
+        self.fail_fast = fail_fast
+        self.violations = []
+        self.checks = 0
+
+    def check(self, simulator):
+        self.checks += 1
+        if not self.predicate(simulator):
+            violation = Violation(simulator.now, self.message)
+            self.violations.append(violation)
+            if self.fail_fast:
+                from repro.utils.errors import SimulationError
+
+                raise SimulationError(
+                    f"{self.name}: {self.message} at t={simulator.now} ns"
+                )
+
+    @property
+    def ok(self):
+        """True when the invariant never failed."""
+        return not self.violations
+
+    def __repr__(self):
+        return f"Monitor({self.name}, checks={self.checks}, violations={len(self.violations)})"
+
+
+class StabilityMonitor(Monitor):
+    """Checks that *data* does not change while *valid* is asserted.
+
+    This captures the handshake safety property the paper's PUT/GET protocol
+    relies on: once ``B_FULL`` is raised, ``DATAIN`` must hold its value until
+    the consumer acknowledges.
+    """
+
+    def __init__(self, name, data_signal, valid_signal, asserted=1):
+        self._data = data_signal
+        self._valid = valid_signal
+        self._asserted = asserted
+        self._held = None
+        super().__init__(name, self._predicate,
+                         message=f"{data_signal.name} changed while {valid_signal.name} asserted")
+
+    def _predicate(self, simulator):
+        if self._valid.value == self._asserted:
+            if self._held is None:
+                self._held = self._data.value
+                return True
+            return self._data.value == self._held
+        self._held = None
+        return True

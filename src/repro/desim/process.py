@@ -1,0 +1,75 @@
+"""Simulation processes.
+
+Two flavours are supported, both present in VHDL practice:
+
+* **Sensitivity-list processes** — a plain callable re-executed from the top
+  whenever one of the signals in its sensitivity list has an event.  This is
+  the natural shape for combinational logic and clocked FSMs (sensitive to
+  the clock).
+* **Generator processes** — a Python generator yielding
+  :class:`~repro.desim.events.WaitCondition` objects, mirroring VHDL
+  processes with explicit ``wait`` statements.  This is the natural shape for
+  testbench stimulus and the motor's physical model.
+"""
+
+import inspect
+
+from repro.desim.events import WaitCondition
+from repro.utils.errors import SimulationError
+from repro.utils.ids import check_identifier
+
+
+class Process:
+    """A simulation process registered with a :class:`Simulator`."""
+
+    def __init__(self, name, func, sensitivity=(), initial_run=True):
+        self.name = check_identifier(name, "process name")
+        self.func = func
+        self.sensitivity = tuple(sensitivity)
+        self.initial_run = initial_run
+        self.is_generator = inspect.isgeneratorfunction(func)
+        if self.is_generator and self.sensitivity:
+            raise SimulationError(
+                f"process {name!r}: generator processes use wait conditions, "
+                "not sensitivity lists"
+            )
+        self._gen = None
+        self.finished = False
+        self.run_count = 0
+
+    def start(self):
+        """Instantiate the generator (no-op for sensitivity processes)."""
+        self.finished = False
+        self.run_count = 0
+        if self.is_generator:
+            self._gen = self.func()
+
+    def step(self):
+        """Run the process once.
+
+        For a sensitivity-list process this calls the function and returns
+        ``None``.  For a generator process this resumes the generator and
+        returns the yielded :class:`WaitCondition`, or ``None`` when the
+        generator terminates (the process is then finished for good).
+        """
+        self.run_count += 1
+        if not self.is_generator:
+            self.func()
+            return None
+        if self._gen is None:
+            self.start()
+        try:
+            condition = next(self._gen)
+        except StopIteration:
+            self.finished = True
+            return None
+        if not isinstance(condition, WaitCondition):
+            raise SimulationError(
+                f"process {self.name!r} yielded {condition!r}; "
+                "expected a WaitCondition (Timeout, SignalChange, Delta)"
+            )
+        return condition
+
+    def __repr__(self):
+        kind = "generator" if self.is_generator else "sensitivity"
+        return f"Process({self.name}, {kind}, runs={self.run_count})"

@@ -1,0 +1,119 @@
+"""Signals: the only shared state between simulation processes.
+
+A signal carries a current value and accepts *scheduled transactions*
+(``schedule`` is normally called through :meth:`Simulator.schedule` or the
+process-facing helpers).  The kernel applies pending transactions during the
+signal-update phase of each delta cycle; a signal whose value actually
+changes has its ``event`` flag set for the following process-execution phase,
+matching the VHDL ``'event`` attribute.
+"""
+
+from repro.utils.errors import SimulationError
+from repro.utils.ids import check_identifier
+
+
+class Signal:
+    """A named simulation signal.
+
+    Parameters
+    ----------
+    name:
+        Identifier (also used in waveform dumps).
+    init:
+        Initial value.  Any hashable/comparable Python value is accepted;
+        typical values are ``0``/``1`` bits, integers and strings.
+    dtype:
+        Optional data-type tag from :mod:`repro.ir.dtypes`; used only for
+        reporting and code generation, never enforced by the kernel.
+    """
+
+    def __init__(self, name, init=0, dtype=None):
+        self.name = check_identifier(name, "signal name")
+        self.dtype = dtype
+        self._value = init
+        self._init = init
+        self.last_changed = 0
+        self.event = False
+        self.change_count = 0
+        # Pending transaction for the *next* update phase: (value,) or None.
+        self._pending = None
+        # Future transactions are kept by the kernel, not the signal.
+
+    @property
+    def value(self):
+        """Current value of the signal."""
+        return self._value
+
+    def read(self):
+        """Alias of :attr:`value`, convenient in lambda sensitivity code."""
+        return self._value
+
+    def stage(self, value):
+        """Stage *value* to be applied at the next update phase.
+
+        Later stages within the same delta overwrite earlier ones (last
+        driver wins within a single driver context — the kernel resolves
+        multiple drivers before staging).
+        """
+        self._pending = (value,)
+
+    def apply_pending(self, now):
+        """Apply a staged transaction.  Returns ``True`` when an event occurs."""
+        if self._pending is None:
+            return False
+        (new_value,) = self._pending
+        self._pending = None
+        if new_value == self._value:
+            return False
+        self._value = new_value
+        self.last_changed = now
+        self.change_count += 1
+        self.event = True
+        return True
+
+    def clear_event(self):
+        self.event = False
+
+    def reset(self):
+        """Restore the initial value (used when a simulator is re-run)."""
+        self._value = self._init
+        self._pending = None
+        self.last_changed = 0
+        self.event = False
+        self.change_count = 0
+
+    def __repr__(self):
+        return f"Signal({self.name}={self._value!r})"
+
+
+class ResolvedSignal(Signal):
+    """A signal with several drivers and an explicit resolution function.
+
+    The co-simulation backplane uses resolved signals for buses where both
+    the communication controller and an interface adapter may drive the same
+    wire.  *resolver* receives the list of driver contributions (excluding
+    ``None`` releases) and returns the resolved value.
+    """
+
+    def __init__(self, name, init=0, dtype=None, resolver=None):
+        super().__init__(name, init=init, dtype=dtype)
+        self._drivers = {}
+        self._resolver = resolver or self._default_resolver
+
+    @staticmethod
+    def _default_resolver(contributions):
+        if not contributions:
+            return 0
+        if len(set(contributions)) > 1:
+            raise SimulationError(
+                f"unresolved multiple drivers with values {contributions}"
+            )
+        return contributions[0]
+
+    def drive(self, driver_id, value):
+        """Record the contribution of *driver_id* and stage the resolution."""
+        if value is None:
+            self._drivers.pop(driver_id, None)
+        else:
+            self._drivers[driver_id] = value
+        self.stage(self._resolver(list(self._drivers.values())))

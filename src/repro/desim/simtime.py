@@ -1,0 +1,38 @@
+"""Simulation time.
+
+Time is an integer number of nanoseconds; the kernel additionally tracks a
+delta-cycle counter within each physical time point, mirroring VHDL's
+``(time, delta)`` ordering.
+"""
+
+NS = 1
+US = 1_000 * NS
+MS = 1_000 * US
+SEC = 1_000 * MS
+
+_UNITS = ((SEC, "s"), (MS, "ms"), (US, "us"), (NS, "ns"))
+
+
+def format_time(nanoseconds):
+    """Render a nanosecond count using the largest unit that divides it.
+
+    >>> format_time(2_000_000)
+    '2 ms'
+    >>> format_time(1500)
+    '1500 ns'
+    """
+    if nanoseconds == 0:
+        return "0 ns"
+    for scale, suffix in _UNITS:
+        if nanoseconds % scale == 0:
+            return f"{nanoseconds // scale} {suffix}"
+    return f"{nanoseconds} ns"
+
+
+def check_delay(delay):
+    """Validate a scheduling delay (must be a non-negative integer)."""
+    if not isinstance(delay, int):
+        raise TypeError(f"delay must be an integer nanosecond count, got {delay!r}")
+    if delay < 0:
+        raise ValueError(f"delay must be non-negative, got {delay}")
+    return delay

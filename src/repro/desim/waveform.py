@@ -1,0 +1,112 @@
+"""Value-change tracing.
+
+The recorder keeps an in-memory value-change list per signal and can render a
+textual VCD-style dump.  It is used by the co-simulation session to provide
+the "functional validation" evidence the paper obtains from the VHDL
+simulator's trace window.
+"""
+
+from repro.utils.text import format_table
+
+
+class WaveformRecorder:
+    """Records every value change of the signals it watches.
+
+    Parameters
+    ----------
+    signals:
+        Iterable of signals to watch; when empty, every signal registered
+        with the simulator at start time is traced.
+    """
+
+    def __init__(self, signals=()):
+        self._filter = {sig.name for sig in signals} or None
+        self.changes = {}
+        self._initial = {}
+
+    def start(self, simulator):
+        names = self._filter or set(simulator.signals)
+        for name in names:
+            if name in simulator.signals:
+                signal = simulator.signals[name]
+                self.changes.setdefault(name, [])
+                self._initial[name] = signal.value
+
+    def record(self, time, signal):
+        if self._filter is not None and signal.name not in self._filter:
+            return
+        self.changes.setdefault(signal.name, []).append((time, signal.value))
+
+    # ------------------------------------------------------------------ query
+
+    def history(self, name):
+        """Return the list of ``(time, value)`` changes of signal *name*."""
+        return list(self.changes.get(name, []))
+
+    def value_at(self, name, time):
+        """Return the value signal *name* held at simulation time *time*."""
+        value = self._initial.get(name, 0)
+        for change_time, change_value in self.changes.get(name, []):
+            if change_time > time:
+                break
+            value = change_value
+        return value
+
+    def count_pulses(self, name, level=1):
+        """Count rising transitions to *level* (used for motor pulse counting)."""
+        pulses = 0
+        previous = self._initial.get(name, 0)
+        for _, value in self.changes.get(name, []):
+            if value == level and previous != level:
+                pulses += 1
+            previous = value
+        return pulses
+
+    def edge_times(self, name, level=1):
+        """Return the times of transitions of signal *name* to *level*."""
+        times = []
+        previous = self._initial.get(name, 0)
+        for change_time, value in self.changes.get(name, []):
+            if value == level and previous != level:
+                times.append(change_time)
+            previous = value
+        return times
+
+    # ------------------------------------------------------------------- dump
+
+    def dump(self, names=None):
+        """Return a textual table of all recorded changes (time-ordered)."""
+        names = list(names) if names is not None else sorted(self.changes)
+        rows = []
+        merged = []
+        for name in names:
+            for change_time, value in self.changes.get(name, []):
+                merged.append((change_time, name, value))
+        merged.sort()
+        for change_time, name, value in merged:
+            rows.append((change_time, name, value))
+        return format_table(["time (ns)", "signal", "value"], rows)
+
+    def to_vcd(self, names=None):
+        """Render a minimal VCD document for the recorded signals."""
+        names = list(names) if names is not None else sorted(self.changes)
+        codes = {name: chr(33 + index) for index, name in enumerate(names)}
+        lines = ["$timescale 1ns $end"]
+        for name in names:
+            lines.append(f"$var wire 32 {codes[name]} {name} $end")
+        lines.append("$enddefinitions $end")
+        lines.append("#0")
+        for name in names:
+            lines.append(f"r{self._initial.get(name, 0)} {codes[name]}")
+        merged = []
+        for name in names:
+            for change_time, value in self.changes.get(name, []):
+                merged.append((change_time, name, value))
+        merged.sort()
+        current_time = 0
+        for change_time, name, value in merged:
+            if change_time != current_time:
+                lines.append(f"#{change_time}")
+                current_time = change_time
+            lines.append(f"r{value} {codes[name]}")
+        return "\n".join(lines)

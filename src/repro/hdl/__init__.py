@@ -1,0 +1,27 @@
+"""VHDL back end: hardware views and synthesizable RTL text.
+
+The hardware view of a service (Figure 3c) and the processes of a hardware
+module (Figure 7) are generated from the same IR the software views come
+from; the RTL emitter of :mod:`repro.cosyn` reuses the expression/statement
+printers defined here.
+"""
+
+from repro.hdl.emitter import (
+    emit_expr,
+    emit_stmt,
+    emit_service_procedure,
+    emit_process,
+    emit_entity,
+    emit_architecture,
+    emit_module,
+)
+
+__all__ = [
+    "emit_expr",
+    "emit_stmt",
+    "emit_service_procedure",
+    "emit_process",
+    "emit_entity",
+    "emit_architecture",
+    "emit_module",
+]

@@ -1,0 +1,134 @@
+"""Fluent builder for FSMs.
+
+The application models (Distribution subsystem, Speed Control units, the
+communication controllers and services) are much more readable when written
+with this builder than when instantiating :class:`State`/:class:`Transition`
+directly::
+
+    build = FsmBuilder("DISTRIBUTION")
+    build.variable("POSITION", INT, 0)
+    with build.state("Start") as state:
+        state.do(Assign("POSITION", 0))
+        state.go("SetupControlCall")
+    ...
+    fsm = build.build(initial="Start")
+"""
+
+import contextlib
+
+from repro.ir.dtypes import DataType
+from repro.ir.expr import wrap
+from repro.ir.fsm import Fsm, ServiceCall, State, Transition, VarDecl
+from repro.ir.stmt import Stmt
+from repro.utils.errors import ModelError
+
+
+class _StateBuilder:
+    """Collects the actions and transitions of one state."""
+
+    def __init__(self, name):
+        self.name = name
+        self.actions = []
+        self.transitions = []
+
+    def do(self, *statements):
+        """Append entry actions to the state."""
+        for statement in statements:
+            if not isinstance(statement, Stmt):
+                raise ModelError(f"state {self.name!r}: {statement!r} is not a statement")
+            self.actions.append(statement)
+        return self
+
+    def go(self, target, when=None, actions=()):
+        """Add a plain transition to *target*, optionally guarded by *when*."""
+        self.transitions.append(
+            Transition(target, guard=None if when is None else wrap(when),
+                       actions=actions)
+        )
+        return self
+
+    def call(self, service, args=(), then=None, store=None, when=None, actions=()):
+        """Add a service-call transition.
+
+        The transition fires when the called service completes (and the
+        optional *when* guard holds); the FSM then moves to *then*.
+        """
+        if then is None:
+            raise ModelError(f"state {self.name!r}: call() requires a target state 'then'")
+        call = ServiceCall(service, args=args, store=store)
+        self.transitions.append(
+            Transition(then, guard=None if when is None else wrap(when),
+                       actions=actions, call=call)
+        )
+        return self
+
+    def stay(self, when=None, actions=()):
+        """Add a self-loop transition (useful for polling states)."""
+        return self.go(self.name, when=when, actions=actions)
+
+
+class FsmBuilder:
+    """Accumulates states, variables and ports, then builds an :class:`Fsm`."""
+
+    def __init__(self, name):
+        self.name = name
+        self._states = []
+        self._state_names = set()
+        self._variables = []
+        self._ports = []
+        self._done_states = []
+        self._result_var = None
+
+    def variable(self, name, dtype, init=None):
+        """Declare an FSM variable and return the builder for chaining."""
+        if not isinstance(dtype, DataType):
+            raise ModelError(f"variable {name!r}: dtype must be a DataType")
+        self._variables.append(VarDecl(name, dtype, init))
+        return self
+
+    def ports(self, *names):
+        """Record the ports used by the FSM (informative)."""
+        for name in names:
+            if name not in self._ports:
+                self._ports.append(name)
+        return self
+
+    @contextlib.contextmanager
+    def state(self, name, done=False):
+        """Open a state definition block; yields a :class:`_StateBuilder`."""
+        if name in self._state_names:
+            raise ModelError(f"FSM {self.name!r}: duplicate state {name!r}")
+        builder = _StateBuilder(name)
+        yield builder
+        self._state_names.add(name)
+        self._states.append(State(name, actions=builder.actions,
+                                  transitions=builder.transitions))
+        if done:
+            self._done_states.append(name)
+
+    def add_state(self, name, actions=(), transitions=(), done=False):
+        """Non-context-manager variant of :meth:`state`."""
+        if name in self._state_names:
+            raise ModelError(f"FSM {self.name!r}: duplicate state {name!r}")
+        self._state_names.add(name)
+        self._states.append(State(name, actions=actions, transitions=transitions))
+        if done:
+            self._done_states.append(name)
+        return self
+
+    def returns(self, result_var):
+        """Mark *result_var* as the value returned by a service FSM."""
+        self._result_var = result_var
+        return self
+
+    def build(self, initial):
+        """Assemble the :class:`Fsm`."""
+        return Fsm(
+            self.name,
+            states=self._states,
+            initial=initial,
+            variables=self._variables,
+            ports=self._ports,
+            done_states=self._done_states,
+            result_var=self._result_var,
+        )

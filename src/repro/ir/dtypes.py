@@ -1,0 +1,204 @@
+"""Data types carried by IR variables, ports and signals.
+
+The type system is the intersection of what the paper's C and VHDL views
+need: single bits, booleans, bounded integers, bit vectors and enumerations
+(used for the state variables of the generated FSMs).
+"""
+
+from repro.utils.errors import ModelError
+from repro.utils.ids import check_identifier
+
+
+class DataType:
+    """Base class of all IR data types."""
+
+    #: default value used when a declaration omits an initialiser
+    default = 0
+
+    def check(self, value):
+        """Validate *value* against the type; return the (possibly coerced) value."""
+        raise NotImplementedError
+
+    def c_name(self):
+        """The C type used in generated software views."""
+        raise NotImplementedError
+
+    def vhdl_name(self):
+        """The VHDL type used in generated hardware views."""
+        raise NotImplementedError
+
+    def bit_width(self):
+        """Number of bits needed to store a value (used by the HLS estimator)."""
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+class BitType(DataType):
+    """A single bit (``0`` or ``1``)."""
+
+    def check(self, value):
+        if value in (0, 1, False, True):
+            return int(value)
+        raise ModelError(f"bit value must be 0 or 1, got {value!r}")
+
+    def c_name(self):
+        return "int"
+
+    def vhdl_name(self):
+        return "std_logic"
+
+    def bit_width(self):
+        return 1
+
+    def __repr__(self):
+        return "BitType()"
+
+
+class BoolType(DataType):
+    """A boolean; rendered as ``int`` in C and ``boolean`` in VHDL."""
+
+    def check(self, value):
+        return bool(value)
+
+    def c_name(self):
+        return "int"
+
+    def vhdl_name(self):
+        return "boolean"
+
+    def bit_width(self):
+        return 1
+
+    def __repr__(self):
+        return "BoolType()"
+
+
+class IntType(DataType):
+    """A bounded integer.
+
+    The default range matches a 16-bit two's-complement word, the natural
+    width of the paper's ISA-bus data path.
+    """
+
+    def __init__(self, low=-32768, high=32767):
+        if low > high:
+            raise ModelError(f"empty integer range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def check(self, value):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ModelError(f"integer value expected, got {value!r}")
+        if not self.low <= value <= self.high:
+            raise ModelError(
+                f"value {value} outside range [{self.low}, {self.high}]"
+            )
+        return value
+
+    def c_name(self):
+        return "int" if self.low < 0 else "unsigned int"
+
+    def vhdl_name(self):
+        return f"integer range {self.low} to {self.high}"
+
+    def bit_width(self):
+        span = max(abs(self.low), abs(self.high) + 1)
+        width = 1
+        while (1 << width) < span:
+            width += 1
+        return width + (1 if self.low < 0 else 0)
+
+    def __repr__(self):
+        return f"IntType({self.low}, {self.high})"
+
+
+class BitVectorType(DataType):
+    """A fixed-width unsigned bit vector, stored as a Python int."""
+
+    def __init__(self, width):
+        if not isinstance(width, int) or width <= 0:
+            raise ModelError(f"bit-vector width must be a positive int, got {width!r}")
+        self.width = width
+
+    def check(self, value):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ModelError(f"bit-vector value must be an int, got {value!r}")
+        if not 0 <= value < (1 << self.width):
+            raise ModelError(
+                f"value {value} does not fit in {self.width} bits"
+            )
+        return value
+
+    def c_name(self):
+        return "unsigned int"
+
+    def vhdl_name(self):
+        return f"std_logic_vector({self.width - 1} downto 0)"
+
+    def bit_width(self):
+        return self.width
+
+    def __repr__(self):
+        return f"BitVectorType({self.width})"
+
+
+class EnumType(DataType):
+    """An enumeration; values are the literal strings themselves."""
+
+    def __init__(self, name, literals):
+        self.name = check_identifier(name, "enum type name")
+        literals = tuple(literals)
+        if not literals:
+            raise ModelError(f"enum {name!r} needs at least one literal")
+        seen = set()
+        for literal in literals:
+            check_identifier(literal, f"enum literal of {name!r}")
+            if literal in seen:
+                raise ModelError(f"duplicate literal {literal!r} in enum {name!r}")
+            seen.add(literal)
+        self.literals = literals
+
+    @property
+    def default(self):
+        return self.literals[0]
+
+    def check(self, value):
+        if value not in self.literals:
+            raise ModelError(
+                f"{value!r} is not a literal of enum {self.name!r} {self.literals}"
+            )
+        return value
+
+    def index_of(self, value):
+        return self.literals.index(self.check(value))
+
+    def c_name(self):
+        return self.name.upper()
+
+    def vhdl_name(self):
+        return self.name.upper()
+
+    def bit_width(self):
+        width = 1
+        while (1 << width) < len(self.literals):
+            width += 1
+        return width
+
+    def __repr__(self):
+        return f"EnumType({self.name!r}, {list(self.literals)!r})"
+
+
+#: Shared singletons for the common scalar types.
+BIT = BitType()
+BOOL = BoolType()
+INT = IntType()
+
+
+def word_type(width=16):
+    """An unsigned integer type matching a *width*-bit bus word."""
+    return IntType(0, (1 << width) - 1)

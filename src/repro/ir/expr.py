@@ -1,0 +1,193 @@
+"""Expression nodes of the behavioural IR.
+
+Expressions are side-effect free.  Reading a port is an expression
+(:class:`PortRef`), matching VHDL's signal reads and the generated C views'
+``inport``/``cliGetPortValue`` calls.
+"""
+
+from repro.utils.errors import ModelError
+from repro.utils.ids import check_identifier
+
+#: Binary operators understood by the interpreter, the emitters and the HLS
+#: data-flow extraction.
+BINARY_OPS = (
+    "add", "sub", "mul", "div", "mod",
+    "eq", "ne", "lt", "le", "gt", "ge",
+    "and", "or", "xor",
+    "min", "max",
+)
+
+UNARY_OPS = ("not", "neg", "abs")
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    def children(self):
+        """Sub-expressions, used by visitors and transformations."""
+        return ()
+
+    # Convenience constructors so behavioural code reads naturally.
+    def __add__(self, other):
+        return BinOp("add", self, wrap(other))
+
+    def __sub__(self, other):
+        return BinOp("sub", self, wrap(other))
+
+    def __mul__(self, other):
+        return BinOp("mul", self, wrap(other))
+
+    def eq(self, other):
+        return BinOp("eq", self, wrap(other))
+
+    def ne(self, other):
+        return BinOp("ne", self, wrap(other))
+
+    def lt(self, other):
+        return BinOp("lt", self, wrap(other))
+
+    def le(self, other):
+        return BinOp("le", self, wrap(other))
+
+    def gt(self, other):
+        return BinOp("gt", self, wrap(other))
+
+    def ge(self, other):
+        return BinOp("ge", self, wrap(other))
+
+    def and_(self, other):
+        return BinOp("and", self, wrap(other))
+
+    def or_(self, other):
+        return BinOp("or", self, wrap(other))
+
+
+class Const(Expr):
+    """A literal constant (integer, bit, boolean or enum literal string)."""
+
+    def __init__(self, value):
+        if not isinstance(value, (int, bool, str)):
+            raise ModelError(f"unsupported constant {value!r}")
+        self.value = value
+
+    def __repr__(self):
+        return f"Const({self.value!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("Const", self.value))
+
+
+class Var(Expr):
+    """A reference to an FSM variable (or a service parameter)."""
+
+    def __init__(self, name):
+        self.name = check_identifier(name, "variable name")
+
+    def __repr__(self):
+        return f"Var({self.name})"
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("Var", self.name))
+
+
+class PortRef(Expr):
+    """A read of a named port.
+
+    In the HW view this is a signal read; in the SW simulation view it
+    becomes ``cliGetPortValue(map(NAME))``; in a SW synthesis view it becomes
+    the platform primitive (e.g. ``inport(map(NAME))``).
+    """
+
+    def __init__(self, port_name):
+        self.port_name = check_identifier(port_name, "port name")
+
+    def __repr__(self):
+        return f"PortRef({self.port_name})"
+
+    def __eq__(self, other):
+        return isinstance(other, PortRef) and self.port_name == other.port_name
+
+    def __hash__(self):
+        return hash(("PortRef", self.port_name))
+
+
+class BinOp(Expr):
+    """A binary operation over two sub-expressions."""
+
+    def __init__(self, op, left, right):
+        if op not in BINARY_OPS:
+            raise ModelError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = wrap(left)
+        self.right = wrap(right)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self):
+        return f"BinOp({self.op}, {self.left!r}, {self.right!r})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, BinOp)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self):
+        return hash(("BinOp", self.op, self.left, self.right))
+
+
+class UnOp(Expr):
+    """A unary operation."""
+
+    def __init__(self, op, operand):
+        if op not in UNARY_OPS:
+            raise ModelError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = wrap(operand)
+
+    def children(self):
+        return (self.operand,)
+
+    def __repr__(self):
+        return f"UnOp({self.op}, {self.operand!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, UnOp) and self.op == other.op and self.operand == other.operand
+
+    def __hash__(self):
+        return hash(("UnOp", self.op, self.operand))
+
+
+def wrap(value):
+    """Turn plain Python scalars into :class:`Const` nodes; pass Exprs through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, bool, str)):
+        return Const(value)
+    raise ModelError(f"cannot use {value!r} as an IR expression")
+
+
+# Short factory helpers used throughout the application models.
+
+def const(value):
+    """Create a :class:`Const`."""
+    return Const(value)
+
+
+def var(name):
+    """Create a :class:`Var` reference."""
+    return Var(name)
+
+
+def port(name):
+    """Create a :class:`PortRef` read."""
+    return PortRef(name)

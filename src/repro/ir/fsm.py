@@ -1,0 +1,220 @@
+"""Finite-state machines: the behavioural unit of the unified model.
+
+The paper structures every behaviour as an FSM:
+
+* software modules execute **one transition per activation** ("each time a
+  software component is activated ... only one transition is executed"),
+* hardware processes execute one transition per clock cycle,
+* access procedures (services) of communication units are FSMs stepped by
+  their caller until they reach a *done* state — that is why the generated C
+  views return ``DONE`` and the caller writes
+  ``if (SetupControl()) NextState = Step;``.
+
+The classes below capture that structure.
+"""
+
+from repro.ir.dtypes import DataType
+from repro.ir.expr import wrap
+from repro.ir.stmt import Stmt
+from repro.utils.errors import ModelError
+from repro.utils.ids import check_identifier
+
+
+class VarDecl:
+    """Declaration of an FSM variable (name, type, initial value)."""
+
+    def __init__(self, name, dtype, init=None):
+        self.name = check_identifier(name, "variable name")
+        if not isinstance(dtype, DataType):
+            raise ModelError(f"variable {name!r}: dtype must be a DataType, got {dtype!r}")
+        self.dtype = dtype
+        self.init = dtype.check(init) if init is not None else dtype.default
+
+    def __repr__(self):
+        return f"VarDecl({self.name}, {self.dtype!r}, init={self.init!r})"
+
+
+class ServiceCall:
+    """Invocation of a communication-unit service from a transition.
+
+    Parameters
+    ----------
+    service:
+        Name of the access procedure (e.g. ``"MotorPosition"``).
+    args:
+        Expressions evaluated in the caller's environment and passed to the
+        service's parameters at every step.
+    store:
+        Optional variable name of the caller receiving the service's result
+        value once the call completes.
+    """
+
+    def __init__(self, service, args=(), store=None):
+        self.service = check_identifier(service, "service name")
+        self.args = tuple(wrap(arg) for arg in args)
+        self.store = check_identifier(store, "result variable") if store else None
+
+    def __repr__(self):
+        return f"ServiceCall({self.service}, args={len(self.args)}, store={self.store})"
+
+
+class Transition:
+    """A guarded transition of an FSM state.
+
+    Exactly one of the following shapes is used:
+
+    * plain transition — optional *guard* expression; taken when the guard is
+      true (or unconditionally when absent);
+    * service-call transition — carries a :class:`ServiceCall`; each FSM step
+      advances the callee by one step and the transition fires when the
+      callee reports completion (and the optional *guard*, evaluated with the
+      call's result bound, is true).
+    """
+
+    def __init__(self, target, guard=None, actions=(), call=None):
+        self.target = check_identifier(target, "transition target")
+        self.guard = wrap(guard) if guard is not None else None
+        self.actions = _check_stmts(actions)
+        if call is not None and not isinstance(call, ServiceCall):
+            raise ModelError(f"call must be a ServiceCall, got {call!r}")
+        self.call = call
+
+    def __repr__(self):
+        parts = [f"-> {self.target}"]
+        if self.call:
+            parts.append(f"call {self.call.service}")
+        if self.guard is not None:
+            parts.append("guarded")
+        return f"Transition({', '.join(parts)})"
+
+
+class State:
+    """A named FSM state with entry actions and ordered transitions."""
+
+    def __init__(self, name, actions=(), transitions=()):
+        self.name = check_identifier(name, "state name")
+        self.actions = _check_stmts(actions)
+        self.transitions = list(transitions)
+        for transition in self.transitions:
+            if not isinstance(transition, Transition):
+                raise ModelError(f"state {name!r}: {transition!r} is not a Transition")
+
+    def add_transition(self, transition):
+        self.transitions.append(transition)
+        return transition
+
+    def __repr__(self):
+        return f"State({self.name}, actions={len(self.actions)}, transitions={len(self.transitions)})"
+
+
+class Fsm:
+    """A complete finite-state machine.
+
+    Parameters
+    ----------
+    name:
+        FSM name (becomes the C function / VHDL process name).
+    states:
+        Iterable of :class:`State`; order is preserved for code generation.
+    initial:
+        Name of the initial state.
+    variables:
+        Iterable of :class:`VarDecl`.
+    ports:
+        Names of the ports this FSM reads or writes (informative; the
+        authoritative port list lives on the owning module or service).
+    done_states:
+        States that signal completion when entered; used by service FSMs and
+        by software modules that terminate.  Entering a done state makes the
+        step report ``done=True``; service FSMs then reset to the initial
+        state ready for the next invocation.
+    result_var:
+        For service FSMs: the variable whose value is returned to the caller
+        on completion.
+    """
+
+    def __init__(self, name, states, initial, variables=(), ports=(),
+                 done_states=(), result_var=None):
+        self.name = check_identifier(name, "FSM name")
+        self.states = {}
+        self.state_order = []
+        for state in states:
+            if not isinstance(state, State):
+                raise ModelError(f"FSM {name!r}: {state!r} is not a State")
+            if state.name in self.states:
+                raise ModelError(f"FSM {name!r}: duplicate state {state.name!r}")
+            self.states[state.name] = state
+            self.state_order.append(state.name)
+        if initial not in self.states:
+            raise ModelError(f"FSM {name!r}: initial state {initial!r} not defined")
+        self.initial = initial
+        self.variables = {}
+        for decl in variables:
+            if not isinstance(decl, VarDecl):
+                raise ModelError(f"FSM {name!r}: {decl!r} is not a VarDecl")
+            if decl.name in self.variables:
+                raise ModelError(f"FSM {name!r}: duplicate variable {decl.name!r}")
+            self.variables[decl.name] = decl
+        self.ports = tuple(ports)
+        self.done_states = frozenset(done_states)
+        for done in self.done_states:
+            if done not in self.states:
+                raise ModelError(f"FSM {name!r}: done state {done!r} not defined")
+        self.result_var = (
+            check_identifier(result_var, "result variable") if result_var else None
+        )
+        if self.result_var and self.result_var not in self.variables:
+            raise ModelError(
+                f"FSM {name!r}: result variable {self.result_var!r} is not declared"
+            )
+
+    # ------------------------------------------------------------------ query
+
+    def state(self, name):
+        try:
+            return self.states[name]
+        except KeyError:
+            raise ModelError(f"FSM {self.name!r}: unknown state {name!r}") from None
+
+    def iter_states(self):
+        """Yield states in declaration order."""
+        for name in self.state_order:
+            yield self.states[name]
+
+    def service_calls(self):
+        """Return the distinct service names invoked by this FSM."""
+        names = []
+        for state in self.iter_states():
+            for transition in state.transitions:
+                if transition.call and transition.call.service not in names:
+                    names.append(transition.call.service)
+        return names
+
+    def written_ports(self):
+        """Names of ports written by any statement of the FSM."""
+        from repro.ir.visitor import iter_statements
+        names = []
+        for stmt in iter_statements(self):
+            if type(stmt).__name__ == "PortWrite" and stmt.port_name not in names:
+                names.append(stmt.port_name)
+        return names
+
+    def read_ports(self):
+        """Names of ports read by any expression of the FSM."""
+        from repro.ir.visitor import iter_expressions
+        names = []
+        for expr in iter_expressions(self):
+            if type(expr).__name__ == "PortRef" and expr.port_name not in names:
+                names.append(expr.port_name)
+        return names
+
+    def __repr__(self):
+        return f"Fsm({self.name}, states={len(self.states)}, initial={self.initial})"
+
+
+def _check_stmts(statements):
+    statements = list(statements)
+    for statement in statements:
+        if not isinstance(statement, Stmt):
+            raise ModelError(f"{statement!r} is not an IR statement")
+    return statements

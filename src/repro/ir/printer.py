@@ -1,0 +1,83 @@
+"""Human-readable rendering of IR objects (used in reports and debugging)."""
+
+from repro.ir.expr import BinOp, Const, PortRef, UnOp, Var
+from repro.ir.stmt import Assign, If, Nop, PortWrite
+
+_BIN_SYMBOLS = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "mod",
+    "eq": "=", "ne": "/=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+    "and": "and", "or": "or", "xor": "xor", "min": "min", "max": "max",
+}
+
+_UNARY_SYMBOLS = {"not": "not", "neg": "-", "abs": "abs"}
+
+
+def format_expr(expr):
+    """Render an expression in a VHDL-flavoured infix syntax."""
+    if isinstance(expr, Const):
+        return repr(expr.value) if isinstance(expr.value, str) else str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, PortRef):
+        return expr.port_name
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return f"{expr.op}({format_expr(expr.left)}, {format_expr(expr.right)})"
+        return f"({format_expr(expr.left)} {_BIN_SYMBOLS[expr.op]} {format_expr(expr.right)})"
+    if isinstance(expr, UnOp):
+        return f"{_UNARY_SYMBOLS[expr.op]}({format_expr(expr.operand)})"
+    return repr(expr)
+
+
+def format_stmt(stmt, indent=0):
+    """Render a statement (possibly multi-line for conditionals)."""
+    pad = "  " * indent
+    if isinstance(stmt, Assign):
+        return f"{pad}{stmt.target} := {format_expr(stmt.expr)};"
+    if isinstance(stmt, PortWrite):
+        return f"{pad}{stmt.port_name} <= {format_expr(stmt.expr)};"
+    if isinstance(stmt, If):
+        lines = [f"{pad}if {format_expr(stmt.cond)} then"]
+        lines.extend(format_stmt(inner, indent + 1) for inner in stmt.then)
+        if stmt.orelse:
+            lines.append(f"{pad}else")
+            lines.extend(format_stmt(inner, indent + 1) for inner in stmt.orelse)
+        lines.append(f"{pad}end if;")
+        return "\n".join(lines)
+    if isinstance(stmt, Nop):
+        return f"{pad}null;"
+    return f"{pad}{stmt!r}"
+
+
+def format_transition(transition, indent=0):
+    pad = "  " * indent
+    parts = []
+    if transition.call is not None:
+        args = ", ".join(format_expr(arg) for arg in transition.call.args)
+        call_text = f"call {transition.call.service}({args})"
+        if transition.call.store:
+            call_text += f" -> {transition.call.store}"
+        parts.append(call_text)
+    if transition.guard is not None:
+        parts.append(f"when {format_expr(transition.guard)}")
+    head = " ".join(parts) if parts else "always"
+    lines = [f"{pad}{head} => goto {transition.target}"]
+    lines.extend(format_stmt(stmt, indent + 1) for stmt in transition.actions)
+    return "\n".join(lines)
+
+
+def format_fsm(fsm):
+    """Render a complete FSM as indented text."""
+    lines = [f"fsm {fsm.name} (initial: {fsm.initial})"]
+    if fsm.variables:
+        lines.append("  variables:")
+        for decl in fsm.variables.values():
+            lines.append(f"    {decl.name} : {decl.dtype!r} := {decl.init!r}")
+    for state in fsm.iter_states():
+        marker = " [done]" if state.name in fsm.done_states else ""
+        lines.append(f"  state {state.name}{marker}:")
+        for stmt in state.actions:
+            lines.append(format_stmt(stmt, indent=2))
+        for transition in state.transitions:
+            lines.append(format_transition(transition, indent=2))
+    return "\n".join(lines)

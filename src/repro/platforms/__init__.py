@@ -1,0 +1,42 @@
+"""Target platform models.
+
+Co-synthesis maps the platform-independent system model onto one of these
+platforms.  Each platform bundles
+
+* a **processor timing model** (how long a software FSM transition and a port
+  access take),
+* a **communication resource model** (the bus or OS mechanism the SW
+  synthesis views of the communication services are expanded onto),
+* a **hardware technology model** (for platforms with programmable hardware,
+  the FPGA device the hardware modules are synthesized into).
+
+The flagship platform is the paper's prototype: a 386 PC-AT with an ISA
+extension bus (16 bit, 10 MHz, base address 0x300) driving a Xilinx
+XC4000-family FPGA board.
+"""
+
+from repro.platforms.base import Platform, ProcessorModel, BusModel
+from repro.platforms.isa_bus import IsaBus
+from repro.platforms.fpga import Xc4000Device, XC4005, XC4010
+from repro.platforms.pc_at import PcAtFpgaPlatform
+from repro.platforms.unix_ipc import UnixIpcPlatform
+from repro.platforms.microcoded import MicrocodedPlatform
+from repro.platforms.multiproc import MultiprocessorPlatform
+from repro.platforms.registry import register_platform, get_platform, available_platforms
+
+__all__ = [
+    "Platform",
+    "ProcessorModel",
+    "BusModel",
+    "IsaBus",
+    "Xc4000Device",
+    "XC4005",
+    "XC4010",
+    "PcAtFpgaPlatform",
+    "UnixIpcPlatform",
+    "MicrocodedPlatform",
+    "MultiprocessorPlatform",
+    "register_platform",
+    "get_platform",
+    "available_platforms",
+]

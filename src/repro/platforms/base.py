@@ -1,0 +1,133 @@
+"""Abstract platform description."""
+
+from repro.utils.errors import SynthesisError
+from repro.utils.ids import check_identifier
+
+
+class ProcessorModel:
+    """Coarse timing model of the processor executing the software part.
+
+    The model is deliberately simple — the paper's flow only needs to know
+    whether the software side keeps up with the real-time constraints, not an
+    exact instruction trace:
+
+    * ``clock_hz`` — processor clock frequency,
+    * ``cycles_per_statement`` — average cycles per executed IR statement,
+    * ``cycles_per_activation`` — fixed overhead of one FSM activation (the
+      function call, the ``switch`` dispatch and the return),
+    * ``io_read_cycles`` / ``io_write_cycles`` — processor-side cost of a
+      port access, on top of the bus transfer itself.
+    """
+
+    def __init__(self, name, clock_hz, cycles_per_statement=4,
+                 cycles_per_activation=18, io_read_cycles=14, io_write_cycles=10):
+        self.name = name
+        if clock_hz <= 0:
+            raise SynthesisError("processor clock must be positive")
+        self.clock_hz = clock_hz
+        self.cycles_per_statement = cycles_per_statement
+        self.cycles_per_activation = cycles_per_activation
+        self.io_read_cycles = io_read_cycles
+        self.io_write_cycles = io_write_cycles
+
+    @property
+    def cycle_ns(self):
+        """Duration of one processor cycle in nanoseconds (float)."""
+        return 1e9 / self.clock_hz
+
+    def activation_ns(self, statements_executed=4, reads=0, writes=0):
+        """Estimated wall-clock nanoseconds of one software FSM activation."""
+        cycles = (
+            self.cycles_per_activation
+            + statements_executed * self.cycles_per_statement
+            + reads * self.io_read_cycles
+            + writes * self.io_write_cycles
+        )
+        return cycles * self.cycle_ns
+
+    def __repr__(self):
+        return f"ProcessorModel({self.name}, {self.clock_hz / 1e6:.0f} MHz)"
+
+
+class BusModel:
+    """Timing/width model of the communication resource between SW and HW."""
+
+    def __init__(self, name, width_bits, clock_hz, cycles_per_transfer=1,
+                 setup_cycles=0):
+        self.name = name
+        self.width_bits = width_bits
+        self.clock_hz = clock_hz
+        self.cycles_per_transfer = cycles_per_transfer
+        self.setup_cycles = setup_cycles
+
+    @property
+    def cycle_ns(self):
+        return 1e9 / self.clock_hz
+
+    def transfer_ns(self, words=1):
+        """Nanoseconds needed to move *words* bus words."""
+        cycles = self.setup_cycles + words * self.cycles_per_transfer
+        return cycles * self.cycle_ns
+
+    def words_for_bits(self, bits):
+        """Bus words needed to carry *bits* of payload."""
+        return max(1, -(-bits // self.width_bits))
+
+    def __repr__(self):
+        return f"BusModel({self.name}, {self.width_bits} bit, {self.clock_hz / 1e6:.0f} MHz)"
+
+
+class Platform:
+    """A complete target platform for co-synthesis.
+
+    Sub-classes provide the processor model, the bus (or IPC) model, the
+    hardware device (if any) and the port-access syntax their SW synthesis
+    views are generated with.
+    """
+
+    #: True when the platform contains programmable hardware for HW modules.
+    has_hardware = True
+
+    def __init__(self, name, processor, bus, device=None, description=""):
+        self.name = check_identifier(name, "platform name")
+        self.processor = processor
+        self.bus = bus
+        self.device = device
+        self.description = description
+
+    # --------------------------------------------------------------- mapping
+
+    def assign_addresses(self, port_names, base=None):
+        """Assign consecutive physical addresses to the given port names."""
+        raise NotImplementedError
+
+    def port_syntax(self, port_names=(), base=None):
+        """Return the :class:`PortAccessSyntax` of this platform's SW views."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------- timing
+
+    def software_activation_ns(self, statements=4, reads=0, writes=0):
+        """Wall-clock estimate of one software activation incl. bus traffic."""
+        processor_ns = self.processor.activation_ns(statements, reads, writes)
+        bus_ns = (reads + writes) * self.bus.transfer_ns(1)
+        return processor_ns + bus_ns
+
+    def hardware_clock_ns(self):
+        """Clock period offered to synthesized hardware (None when no HW)."""
+        if self.device is None:
+            return None
+        return self.device.recommended_clock_ns
+
+    def summary(self):
+        """Dictionary summary used in synthesis reports."""
+        return {
+            "platform": self.name,
+            "processor": repr(self.processor),
+            "bus": repr(self.bus),
+            "device": repr(self.device) if self.device else "none",
+            "has_hardware": self.has_hardware,
+        }
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name})"

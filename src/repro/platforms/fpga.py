@@ -1,0 +1,141 @@
+"""Xilinx XC4000-family FPGA device model.
+
+The paper's Speed Control subsystem "was synthesized onto a Xilinx
+4000-series FPGA".  The model below carries the published CLB counts of the
+small XC4000 family members and coarse per-CLB timing, enough for the
+high-level-synthesis estimator to answer the two questions the paper's flow
+asks: does the design fit, and does it meet the clock needed by the bus and
+the motor's real-time constraints.
+"""
+
+from repro.utils.errors import SynthesisError
+
+
+class Xc4000Device:
+    """One member of the XC4000 family.
+
+    Parameters
+    ----------
+    name:
+        Device name, e.g. ``"XC4005"``.
+    clb_count:
+        Number of configurable logic blocks available.
+    flip_flops:
+        Number of CLB flip-flops available (two per CLB in the XC4000).
+    clb_delay_ns:
+        Combinational delay through one CLB level (function generator +
+        local routing), used for critical-path estimation.
+    io_blocks:
+        Number of user I/O blocks.
+    """
+
+    def __init__(self, name, clb_count, flip_flops=None, clb_delay_ns=7.0,
+                 io_blocks=112):
+        self.name = name
+        self.clb_count = clb_count
+        self.flip_flops = flip_flops if flip_flops is not None else 2 * clb_count
+        self.clb_delay_ns = clb_delay_ns
+        self.io_blocks = io_blocks
+
+    @property
+    def recommended_clock_ns(self):
+        """A conservative system clock period (about 4 CLB levels + margin)."""
+        return round(4 * self.clb_delay_ns + 12.0)
+
+    def fits(self, clbs, flip_flops=0, ios=0):
+        """True when the given resource usage fits the device."""
+        return (
+            clbs <= self.clb_count
+            and flip_flops <= self.flip_flops
+            and ios <= self.io_blocks
+        )
+
+    def utilisation(self, clbs, flip_flops=0):
+        """CLB utilisation as a fraction (may exceed 1.0 when over-mapped)."""
+        if self.clb_count == 0:
+            raise SynthesisError("device has no CLBs")
+        return clbs / self.clb_count
+
+    def max_frequency_hz(self, critical_path_ns):
+        """Maximum clock frequency for a given critical path."""
+        if critical_path_ns <= 0:
+            raise SynthesisError("critical path must be positive")
+        return 1e9 / critical_path_ns
+
+    def __repr__(self):
+        return f"Xc4000Device({self.name}, {self.clb_count} CLBs)"
+
+
+#: The two family members the paper's prototype board could carry.
+XC4005 = Xc4000Device("XC4005", clb_count=196, io_blocks=112)
+XC4010 = Xc4000Device("XC4010", clb_count=400, io_blocks=160)
+
+#: Area cost table (CLBs) of the RTL operators the HLS allocator instantiates,
+#: per 16-bit operand width; scaled linearly with width by the estimator.
+OPERATOR_CLB_COST = {
+    "add": 9,
+    "sub": 9,
+    "mul": 72,
+    "div": 90,
+    "mod": 90,
+    "eq": 5,
+    "ne": 5,
+    "lt": 6,
+    "le": 6,
+    "gt": 6,
+    "ge": 6,
+    "and": 1,
+    "or": 1,
+    "xor": 1,
+    "not": 1,
+    "neg": 9,
+    "abs": 10,
+    "min": 12,
+    "max": 12,
+    "mux": 4,
+    "register": 8,
+}
+
+
+def operator_clbs(op, width_bits=16):
+    """CLB cost of one RTL operator instance at the given bit width."""
+    base = OPERATOR_CLB_COST.get(op)
+    if base is None:
+        raise SynthesisError(f"no area model for operator {op!r}")
+    scale = max(width_bits, 1) / 16.0
+    return max(1, round(base * scale))
+
+
+#: Combinational delay (ns) of the same operators at 16 bits.
+OPERATOR_DELAY_NS = {
+    "add": 14.0,
+    "sub": 14.0,
+    "mul": 55.0,
+    "div": 70.0,
+    "mod": 70.0,
+    "eq": 9.0,
+    "ne": 9.0,
+    "lt": 12.0,
+    "le": 12.0,
+    "gt": 12.0,
+    "ge": 12.0,
+    "and": 4.0,
+    "or": 4.0,
+    "xor": 4.0,
+    "not": 3.0,
+    "neg": 14.0,
+    "abs": 16.0,
+    "min": 18.0,
+    "max": 18.0,
+    "mux": 6.0,
+    "register": 3.0,
+}
+
+
+def operator_delay_ns(op, width_bits=16):
+    """Combinational delay of one operator at the given width."""
+    base = OPERATOR_DELAY_NS.get(op)
+    if base is None:
+        raise SynthesisError(f"no delay model for operator {op!r}")
+    scale = 0.75 + 0.25 * (max(width_bits, 1) / 16.0)
+    return base * scale

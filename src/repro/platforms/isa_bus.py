@@ -1,0 +1,57 @@
+"""ISA (PC-AT extension bus) model.
+
+The paper's prototype uses "a 16-bit parallel bus (synchronous communication,
+10 MHz, address 300h)"; this model captures the address window, the word
+width and the transfer timing, and offers a small transaction log so the
+coherence benchmark can count bus cycles.
+"""
+
+from repro.platforms.base import BusModel
+from repro.utils.errors import SynthesisError
+
+
+class IsaBus(BusModel):
+    """16-bit ISA extension bus with a fixed I/O window."""
+
+    def __init__(self, base_address=0x300, window=0x10, clock_hz=10_000_000,
+                 cycles_per_transfer=3):
+        super().__init__("isa", width_bits=16, clock_hz=clock_hz,
+                         cycles_per_transfer=cycles_per_transfer)
+        self.base_address = base_address
+        self.window = window
+        self.transactions = []
+
+    def address_range(self):
+        return range(self.base_address, self.base_address + self.window)
+
+    def assign_addresses(self, port_names, base=None):
+        """Assign one I/O address per port, starting at *base* (default 0x300)."""
+        base = self.base_address if base is None else base
+        port_names = list(port_names)
+        if len(port_names) > self.window:
+            raise SynthesisError(
+                f"ISA window of {self.window} addresses cannot map {len(port_names)} ports"
+            )
+        return {name: base + offset for offset, name in enumerate(port_names)}
+
+    # ------------------------------------------------------- transaction log
+
+    def record_read(self, address, value, time_ns):
+        self.transactions.append(("read", address, value, time_ns))
+
+    def record_write(self, address, value, time_ns):
+        self.transactions.append(("write", address, value, time_ns))
+
+    def traffic_summary(self):
+        """Aggregate statistics of the logged transactions."""
+        reads = sum(1 for kind, *_ in self.transactions if kind == "read")
+        writes = sum(1 for kind, *_ in self.transactions if kind == "write")
+        return {
+            "reads": reads,
+            "writes": writes,
+            "total": reads + writes,
+            "bus_time_ns": (reads + writes) * self.transfer_ns(1),
+        }
+
+    def reset_log(self):
+        self.transactions = []

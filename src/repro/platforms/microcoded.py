@@ -1,0 +1,43 @@
+"""Embedded platform with a micro-coded communication controller.
+
+Models the paper's third software-synthesis alternative: "the communication
+can also be executed as an embedded software on a hardware datapath
+controlled by a micro-coded controller, in which case our communication
+procedure call will become a call to a standard micro-code routine".
+Port accesses are very cheap (a few controller cycles) but the processor is
+slow, which moves the software/communication balance to the other extreme of
+the retargeting benchmark.
+"""
+
+from repro.platforms.base import BusModel, Platform, ProcessorModel
+from repro.platforms.fpga import XC4005
+from repro.swc.syntax import MicrocodeSyntax
+
+
+class MicrocodedPlatform(Platform):
+    """Embedded core + micro-coded controller + small FPGA."""
+
+    has_hardware = True
+
+    def __init__(self, name="microcoded", cpu_clock_hz=8_000_000):
+        processor = ProcessorModel(
+            "embedded_core", clock_hz=cpu_clock_hz,
+            cycles_per_statement=6, cycles_per_activation=20,
+            io_read_cycles=4, io_write_cycles=4,
+        )
+        bus = BusModel("ucode_datapath", width_bits=16, clock_hz=cpu_clock_hz,
+                       cycles_per_transfer=1)
+        super().__init__(
+            name, processor, bus, device=XC4005,
+            description="embedded processor with micro-coded communication controller",
+        )
+
+    def assign_addresses(self, port_names, base=None):
+        base = 0 if base is None else base
+        return {name: base + offset for offset, name in enumerate(port_names)}
+
+    def port_syntax(self, port_names=(), base=None):
+        return MicrocodeSyntax(
+            read_cycles=self.processor.io_read_cycles,
+            write_cycles=self.processor.io_write_cycles,
+        )

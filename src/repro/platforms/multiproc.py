@@ -1,0 +1,48 @@
+"""Multiprocessor platform.
+
+The paper closes section 4 noting "the target architecture may be a complex
+multiprocessor architecture".  This model represents the simplest such
+target: several identical processor nodes connected by a shared parallel
+backplane; software modules are placed on nodes and hardware modules (if
+any) on an FPGA attached to the backplane.  Only the communication timing
+differs from the PC-AT model — the point of including it is to show that the
+same system description retargets by swapping views, not to model a real
+machine in detail.
+"""
+
+from repro.platforms.base import BusModel, Platform, ProcessorModel
+from repro.platforms.fpga import XC4010
+from repro.swc.syntax import IoPortSyntax
+
+
+class MultiprocessorPlatform(Platform):
+    """Several processor nodes on a shared backplane plus one FPGA."""
+
+    has_hardware = True
+
+    def __init__(self, name="multiproc", nodes=4, cpu_clock_hz=25_000_000,
+                 backplane_clock_hz=20_000_000, base_address=0x8000):
+        processor = ProcessorModel(
+            "node_cpu", clock_hz=cpu_clock_hz,
+            cycles_per_statement=4, cycles_per_activation=20,
+            io_read_cycles=18, io_write_cycles=16,
+        )
+        bus = BusModel("backplane", width_bits=32, clock_hz=backplane_clock_hz,
+                       cycles_per_transfer=2, setup_cycles=2)
+        super().__init__(
+            name, processor, bus, device=XC4010,
+            description=f"{nodes}-node multiprocessor with shared backplane",
+        )
+        self.nodes = nodes
+        self.base_address = base_address
+
+    def assign_addresses(self, port_names, base=None):
+        base = self.base_address if base is None else base
+        return {name: base + 4 * offset for offset, name in enumerate(port_names)}
+
+    def port_syntax(self, port_names=(), base=None):
+        return IoPortSyntax(
+            self.assign_addresses(port_names, base=base),
+            read_cycles=self.processor.io_read_cycles,
+            write_cycles=self.processor.io_write_cycles,
+        )

@@ -1,0 +1,46 @@
+"""The paper's prototype platform: 386 PC-AT + ISA bus + XC4000 FPGA board."""
+
+from repro.platforms.base import Platform, ProcessorModel
+from repro.platforms.fpga import XC4010
+from repro.platforms.isa_bus import IsaBus
+from repro.swc.syntax import IoPortSyntax
+
+
+class PcAtFpgaPlatform(Platform):
+    """386-based PC-AT communicating with an FPGA development board.
+
+    Defaults follow the prototype of the paper's section 4: the Distribution
+    C program compiled for a 386 PC-AT, talking over the 16-bit extension bus
+    (synchronous, 10 MHz, base address 0x300) to a Xilinx 4000-series FPGA
+    carrying the Speed Control subsystem, EPROM and a microcomputer
+    interface.
+    """
+
+    has_hardware = True
+
+    def __init__(self, name="pc_at_fpga", cpu_clock_hz=33_000_000,
+                 base_address=0x300, device=None):
+        processor = ProcessorModel(
+            "i386", clock_hz=cpu_clock_hz,
+            cycles_per_statement=5, cycles_per_activation=24,
+            io_read_cycles=26, io_write_cycles=24,
+        )
+        bus = IsaBus(base_address=base_address)
+        super().__init__(
+            name, processor, bus, device=device or XC4010,
+            description="386 PC-AT with FPGA board on the ISA extension bus "
+                        "(the paper's prototype architecture)",
+        )
+
+    def assign_addresses(self, port_names, base=None):
+        """Map communication-unit ports into the ISA I/O window."""
+        return self.bus.assign_addresses(port_names, base=base)
+
+    def port_syntax(self, port_names=(), base=None):
+        """I/O-port syntax (``inport``/``outport``) over the assigned addresses."""
+        address_map = self.assign_addresses(port_names, base=base)
+        return IoPortSyntax(
+            address_map,
+            read_cycles=self.processor.io_read_cycles,
+            write_cycles=self.processor.io_write_cycles,
+        )

@@ -1,0 +1,40 @@
+"""Platform registry: look up target platforms by name."""
+
+from repro.platforms.microcoded import MicrocodedPlatform
+from repro.platforms.multiproc import MultiprocessorPlatform
+from repro.platforms.pc_at import PcAtFpgaPlatform
+from repro.platforms.unix_ipc import UnixIpcPlatform
+from repro.utils.errors import SynthesisError
+
+_FACTORIES = {
+    "pc_at_fpga": PcAtFpgaPlatform,
+    "unix_ipc": UnixIpcPlatform,
+    "microcoded": MicrocodedPlatform,
+    "multiproc": MultiprocessorPlatform,
+}
+
+_CUSTOM = {}
+
+
+def register_platform(name, factory, replace=False):
+    """Register a custom platform factory under *name*."""
+    if name in _FACTORIES or (name in _CUSTOM and not replace):
+        if not replace:
+            raise SynthesisError(f"platform {name!r} is already registered")
+    _CUSTOM[name] = factory
+    return factory
+
+
+def get_platform(name, **kwargs):
+    """Instantiate the platform registered under *name*."""
+    factory = _CUSTOM.get(name) or _FACTORIES.get(name)
+    if factory is None:
+        raise SynthesisError(
+            f"unknown platform {name!r}; available: {sorted(available_platforms())}"
+        )
+    return factory(**kwargs)
+
+
+def available_platforms():
+    """Names of all registered platforms."""
+    return sorted(set(_FACTORIES) | set(_CUSTOM))

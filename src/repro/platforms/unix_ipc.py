@@ -1,0 +1,50 @@
+"""All-software platform: communication through UNIX inter-process communication.
+
+This platform exercises the paper's statement that "if the communication is
+entirely a software executing on a given operating system, communication
+procedure calls are expanded into system calls ... (for example, Inter
+Process Communication of UNIX)".  There is no programmable hardware;
+hardware modules are executed as additional software processes, which is
+useful for early functional prototyping of the whole system on a
+workstation.
+"""
+
+from repro.platforms.base import BusModel, Platform, ProcessorModel
+from repro.swc.syntax import IpcSyntax
+
+
+class UnixIpcPlatform(Platform):
+    """Workstation platform where all communication is UNIX IPC."""
+
+    has_hardware = False
+
+    def __init__(self, name="unix_ipc", cpu_clock_hz=60_000_000,
+                 syscall_overhead_cycles=2_500):
+        processor = ProcessorModel(
+            "workstation", clock_hz=cpu_clock_hz,
+            cycles_per_statement=3, cycles_per_activation=15,
+            io_read_cycles=syscall_overhead_cycles,
+            io_write_cycles=syscall_overhead_cycles,
+        )
+        # IPC "bus": a message queue; the width is a machine word and the
+        # effective transfer rate is dominated by the system-call overhead.
+        bus = BusModel("ipc_msgqueue", width_bits=32, clock_hz=cpu_clock_hz,
+                       cycles_per_transfer=syscall_overhead_cycles)
+        super().__init__(
+            name, processor, bus, device=None,
+            description="single workstation, communication through UNIX IPC",
+        )
+        self.syscall_overhead_cycles = syscall_overhead_cycles
+
+    def assign_addresses(self, port_names, base=None):
+        """IPC needs queue identifiers rather than addresses."""
+        base = 1000 if base is None else base
+        return {name: base + offset for offset, name in enumerate(port_names)}
+
+    def port_syntax(self, port_names=(), base=None):
+        queue_ids = self.assign_addresses(port_names, base=base)
+        return IpcSyntax(
+            queue_ids={name: str(qid) for name, qid in queue_ids.items()},
+            read_cycles=self.syscall_overhead_cycles,
+            write_cycles=self.syscall_overhead_cycles,
+        )

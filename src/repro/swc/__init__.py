@@ -1,0 +1,43 @@
+"""C back end: software simulation and software synthesis views.
+
+The package turns IR FSMs into C text shaped exactly like the paper's
+Figure 3 (service views) and Figure 6b (software module): one function per
+FSM, a ``switch`` over a state variable, ``DONE`` returned on completion.
+
+Which *port access syntax* is substituted for port reads/writes decides the
+view kind:
+
+* :class:`~repro.swc.syntax.CliPortSyntax` — ``cliGetPortValue``/``cliOutput``
+  → SW **simulation** view,
+* platform syntaxes supplied by :mod:`repro.platforms` (e.g.
+  ``inport``/``outport`` with a physical address map) → SW **synthesis**
+  views.
+"""
+
+from repro.swc.syntax import (
+    PortAccessSyntax,
+    CliPortSyntax,
+    IoPortSyntax,
+    IpcSyntax,
+    MicrocodeSyntax,
+)
+from repro.swc.emitter import (
+    emit_expr,
+    emit_stmt,
+    emit_service_view,
+    emit_module_function,
+    emit_program,
+)
+
+__all__ = [
+    "PortAccessSyntax",
+    "CliPortSyntax",
+    "IoPortSyntax",
+    "IpcSyntax",
+    "MicrocodeSyntax",
+    "emit_expr",
+    "emit_stmt",
+    "emit_service_view",
+    "emit_module_function",
+    "emit_program",
+]

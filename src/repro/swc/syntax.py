@@ -1,0 +1,146 @@
+"""Port-access syntaxes: how generated C reads and writes communication ports.
+
+Each syntax corresponds to one column of the paper's Figure 3 discussion:
+
+* ``CliPortSyntax`` — the simulator's C-language interface (SW simulation
+  view),
+* ``IoPortSyntax`` — memory-mapped or I/O-port access on a processor target
+  such as the 386 PC-AT (``inport``/``outport`` with a physical address map),
+* ``IpcSyntax`` — communication expanded into operating-system IPC calls,
+* ``MicrocodeSyntax`` — communication expanded into calls to micro-code
+  routines of a micro-coded controller.
+
+A syntax object also carries a per-access cycle estimate, which the
+co-synthesis flow uses for the software-side timing budget.
+"""
+
+from repro.utils.errors import SynthesisError
+
+
+class PortAccessSyntax:
+    """Strategy object deciding how port accesses appear in generated C."""
+
+    #: short label used in the generated header comment
+    label = "abstract"
+    #: estimated processor cycles per port read/write (None = unknown)
+    read_cycles = None
+    write_cycles = None
+
+    def read_expr(self, port_name):
+        """Return the C expression reading *port_name*."""
+        raise NotImplementedError
+
+    def write_stmt(self, port_name, value_expr):
+        """Return the C statement (without trailing newline) writing *port_name*."""
+        raise NotImplementedError
+
+    def prologue(self):
+        """Lines emitted once at the top of a generated file (includes, macros)."""
+        return []
+
+
+class CliPortSyntax(PortAccessSyntax):
+    """Simulator C-language interface — the SW simulation view of Figure 3b."""
+
+    label = "simulation (VHDL simulator C-language interface)"
+    read_cycles = 0
+    write_cycles = 0
+
+    def read_expr(self, port_name):
+        return f"cliGetPortValue(map({port_name}))"
+
+    def write_stmt(self, port_name, value_expr):
+        return f"cliOutput(map({port_name}), {value_expr});"
+
+    def prologue(self):
+        return [
+            '#include "vss_cli.h"  /* simulator C-language interface */',
+        ]
+
+
+class IoPortSyntax(PortAccessSyntax):
+    """I/O-port access on a processor platform — the SW synthesis view of Figure 3a.
+
+    Parameters
+    ----------
+    address_map:
+        Mapping from port name to physical I/O address (integers).
+    read_cycles / write_cycles:
+        Processor + bus cycles consumed per access (used for timing budgets).
+    """
+
+    label = "synthesis (processor I/O ports)"
+
+    def __init__(self, address_map, read_cycles=12, write_cycles=12):
+        self.address_map = dict(address_map)
+        self.read_cycles = read_cycles
+        self.write_cycles = write_cycles
+
+    def _address(self, port_name):
+        try:
+            return self.address_map[port_name]
+        except KeyError:
+            raise SynthesisError(
+                f"no physical address assigned to port {port_name!r}"
+            ) from None
+
+    def read_expr(self, port_name):
+        return f"inport(0x{self._address(port_name):X})"
+
+    def write_stmt(self, port_name, value_expr):
+        return f"outport(0x{self._address(port_name):X}, {value_expr});"
+
+    def prologue(self):
+        lines = ['#include <dos.h>  /* inport / outport */', "/* physical address map */"]
+        for port_name in sorted(self.address_map):
+            lines.append(
+                f"#define map_{port_name} 0x{self.address_map[port_name]:X}"
+            )
+        return lines
+
+
+class IpcSyntax(PortAccessSyntax):
+    """Communication through operating-system IPC (UNIX message queues)."""
+
+    label = "synthesis (UNIX inter-process communication)"
+
+    def __init__(self, queue_ids=None, read_cycles=400, write_cycles=400):
+        self.queue_ids = dict(queue_ids or {})
+        self.read_cycles = read_cycles
+        self.write_cycles = write_cycles
+
+    def _queue(self, port_name):
+        return self.queue_ids.get(port_name, f"QUEUE_{port_name}")
+
+    def read_expr(self, port_name):
+        return f"ipc_receive({self._queue(port_name)})"
+
+    def write_stmt(self, port_name, value_expr):
+        return f"ipc_send({self._queue(port_name)}, {value_expr});"
+
+    def prologue(self):
+        return [
+            "#include <sys/ipc.h>",
+            "#include <sys/msg.h>",
+            '#include "ipc_channel.h"  /* ipc_send / ipc_receive wrappers */',
+        ]
+
+
+class MicrocodeSyntax(PortAccessSyntax):
+    """Communication through micro-code routines of a micro-coded controller."""
+
+    label = "synthesis (micro-coded controller routines)"
+
+    def __init__(self, routine_prefix="ucode", read_cycles=4, write_cycles=4):
+        self.routine_prefix = routine_prefix
+        self.read_cycles = read_cycles
+        self.write_cycles = write_cycles
+
+    def read_expr(self, port_name):
+        return f"{self.routine_prefix}_read({port_name}_REG)"
+
+    def write_stmt(self, port_name, value_expr):
+        return f"{self.routine_prefix}_write({port_name}_REG, {value_expr});"
+
+    def prologue(self):
+        return ['#include "ucode_runtime.h"  /* micro-code routine stubs */']

@@ -1,0 +1,25 @@
+"""Shared utilities: error types, identifier helpers and structured logging."""
+
+from repro.utils.errors import (
+    ReproError,
+    ModelError,
+    SimulationError,
+    SynthesisError,
+    ViewError,
+    ValidationError,
+)
+from repro.utils.ids import check_identifier, unique_name
+from repro.utils.text import indent_block, format_table
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "SimulationError",
+    "SynthesisError",
+    "ViewError",
+    "ValidationError",
+    "check_identifier",
+    "unique_name",
+    "indent_block",
+    "format_table",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy used across the library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ModelError(ReproError):
+    """The system model is structurally malformed (bad port, duplicate name...)."""
+
+
+class ValidationError(ModelError):
+    """Model validation failed; carries the list of individual problems."""
+
+    def __init__(self, problems):
+        self.problems = list(problems)
+        joined = "; ".join(self.problems) if self.problems else "unknown problem"
+        super().__init__(f"model validation failed: {joined}")
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an illegal condition."""
+
+
+class SynthesisError(ReproError):
+    """Co-synthesis could not map the model onto the requested target."""
+
+
+class ViewError(ReproError):
+    """A required view of a communication service is missing or inconsistent."""

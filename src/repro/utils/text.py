@@ -1,0 +1,37 @@
+"""Small text-formatting helpers shared by the code emitters and reports."""
+
+
+def indent_block(text, levels=1, width=2):
+    """Indent every non-empty line of *text* by ``levels * width`` spaces."""
+    pad = " " * (levels * width)
+    lines = text.splitlines()
+    return "\n".join(pad + line if line.strip() else line for line in lines)
+
+
+def format_table(headers, rows):
+    """Render a simple monospace table used by synthesis and benchmark reports.
+
+    *headers* is a sequence of column titles; *rows* a sequence of sequences.
+    Every cell is converted with ``str``.
+    """
+    headers = [str(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def line(cells):
+        padded = []
+        for index, width in enumerate(widths):
+            cell = cells[index] if index < len(cells) else ""
+            padded.append(cell.ljust(width))
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    out = [line(headers), separator]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

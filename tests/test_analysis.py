@@ -1,0 +1,113 @@
+"""Unit tests of the analysis layer (metrics, timing, back-annotation)."""
+
+import pytest
+
+from repro.analysis import (
+    check_pulse_timing,
+    check_response_latency,
+    interface_traffic,
+    service_latency_stats,
+)
+from repro.analysis.metrics import LatencyStats, latency_table
+from repro.cosim.tracing import ServiceCallTrace
+from repro.desim import Simulator, Timeout, WaveformRecorder
+
+
+def _trace_with_calls():
+    trace = ServiceCallTrace()
+    samples = [
+        ("SW", "Put", "UnitA", 0, 300),
+        ("SW", "Put", "UnitA", 1000, 1200),
+        ("HW", "Get", "UnitA", 100, 900),
+        ("HW", "Sample", "UnitB", 50, 60),
+    ]
+    for caller, service, unit, start, end in samples:
+        trace.begin(caller, service, unit, start)
+        trace.complete(caller, service, end)
+    return trace
+
+
+class TestLatencyStats:
+    def test_per_service_statistics(self):
+        stats = service_latency_stats(_trace_with_calls())
+        assert stats["Put"].count == 2
+        assert stats["Put"].minimum == 200
+        assert stats["Put"].maximum == 300
+        assert stats["Put"].mean == pytest.approx(250)
+        assert stats["Sample"].mean == pytest.approx(10)
+
+    def test_empty_stats(self):
+        stats = LatencyStats("Nothing", [])
+        assert stats.count == 0
+        assert stats.mean is None and stats.minimum is None
+
+    def test_latency_table_render(self):
+        table = latency_table(service_latency_stats(_trace_with_calls()))
+        assert "Put" in table and "mean (ns)" in table
+
+    def test_interface_traffic_filters_by_unit(self):
+        traffic = interface_traffic(_trace_with_calls(), unit_name="UnitA")
+        assert traffic[("SW", "Put")] == 2
+        assert traffic[("HW", "Get")] == 1
+        assert ("HW", "Sample") not in traffic
+
+
+class TestPulseTiming:
+    def _waveform_with_pulses(self, times):
+        sim = Simulator()
+        pulse = sim.add_signal("pulse", init=0)
+        recorder = sim.add_recorder(WaveformRecorder())
+
+        def stim():
+            previous = 0
+            for at in times:
+                yield Timeout(at - previous)
+                sim.schedule(pulse, 1)
+                yield Timeout(5)
+                sim.schedule(pulse, 0)
+                previous = at + 5
+        sim.add_process("stim", stim)
+        sim.run()
+        return recorder
+
+    def test_pulse_report_ok(self):
+        recorder = self._waveform_with_pulses([100, 300, 500])
+        report = check_pulse_timing(recorder, "pulse", min_period_ns=150)
+        assert report.pulse_count == 3
+        assert report.observed_min_period == 200
+        assert report.ok
+        assert "pulse timing of pulse" in report.report()
+
+    def test_pulse_report_violation(self):
+        recorder = self._waveform_with_pulses([100, 180, 600])
+        report = check_pulse_timing(recorder, "pulse", min_period_ns=150,
+                                    max_period_ns=300)
+        assert not report.ok
+        assert len(report.violations) == 2  # one too fast, one too slow
+
+    def test_no_pulses(self):
+        recorder = self._waveform_with_pulses([])
+        report = check_pulse_timing(recorder, "pulse", min_period_ns=100)
+        assert report.pulse_count == 0
+        assert report.ok
+
+
+class TestResponseLatency:
+    def test_latency_from_first_stimulus(self):
+        report = check_response_latency([100, 500], [50, 250, 700], max_latency_ns=200)
+        assert report.latency == 150
+        assert report.ok
+
+    def test_latency_violation(self):
+        report = check_response_latency([100], [900], max_latency_ns=200)
+        assert report.latency == 800
+        assert not report.ok
+
+    def test_no_response_found(self):
+        report = check_response_latency([100], [50])
+        assert report.latency is None
+        assert not report.ok
+
+    def test_no_stimulus(self):
+        report = check_response_latency([], [100])
+        assert report.latency is None

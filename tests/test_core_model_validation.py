@@ -1,0 +1,135 @@
+"""Unit tests of the system model and whole-model validation."""
+
+import pytest
+
+from repro.comm import build_view_library, handshake_channel
+from repro.core import SystemModel, validate_model
+from repro.core.views import MultiViewLibrary, ViewKind
+from repro.utils.errors import ModelError, ValidationError
+
+from tests.conftest import (
+    make_host_module,
+    make_producer_consumer_model,
+    make_server_module,
+)
+
+
+class TestSystemModel:
+    def test_duplicate_module_names_rejected(self):
+        model = SystemModel("Sys")
+        model.add_software_module(make_host_module())
+        with pytest.raises(ModelError):
+            model.add_software_module(make_host_module())
+
+    def test_module_and_unit_namespaces_are_shared(self):
+        model = SystemModel("Sys")
+        model.add_comm_unit(handshake_channel("Shared"))
+        with pytest.raises(ModelError):
+            model.add_software_module(make_host_module(name="Shared"))
+
+    def test_wrong_module_kind_rejected(self):
+        model = SystemModel("Sys")
+        with pytest.raises(ModelError):
+            model.add_software_module(make_server_module())
+        with pytest.raises(ModelError):
+            model.add_hardware_module(make_host_module())
+
+    def test_bind_validates_names(self):
+        model = SystemModel("Sys")
+        model.add_software_module(make_host_module())
+        model.add_comm_unit(handshake_channel("Channel", put_name="HostPut"))
+        with pytest.raises(ModelError):
+            model.bind("NoModule", "HostPut", "Channel")
+        with pytest.raises(ModelError):
+            model.bind("HostMod", "HostPut", "NoUnit")
+        with pytest.raises(ModelError):
+            model.bind("HostMod", "NoService", "Channel")
+
+    def test_double_binding_rejected(self):
+        model = SystemModel("Sys")
+        model.add_software_module(make_host_module())
+        model.add_comm_unit(handshake_channel("Channel", put_name="HostPut"))
+        model.bind("HostMod", "HostPut", "Channel")
+        with pytest.raises(ModelError):
+            model.bind("HostMod", "HostPut", "Channel")
+
+    def test_bind_interface_binds_all_services(self):
+        model = SystemModel("Sys")
+        model.add_software_module(make_host_module())
+        model.add_hardware_module(make_server_module())
+        model.add_comm_unit(
+            handshake_channel("Channel", put_name="HostPut", get_name="ServerGet",
+                              put_interface="HostIf", get_interface="ServerIf")
+        )
+        bindings = model.bind_interface("HostMod", "Channel", "HostIf")
+        assert len(bindings) == 1
+        assert model.unit_for("HostMod", "HostPut").name == "Channel"
+
+    def test_unit_for_unbound_service_raises(self):
+        model = SystemModel("Sys")
+        model.add_software_module(make_host_module())
+        with pytest.raises(ModelError):
+            model.unit_for("HostMod", "HostPut")
+
+    def test_queries(self, producer_consumer_model):
+        model = producer_consumer_model
+        assert [m.name for m in model.software_modules()] == ["HostMod"]
+        assert [m.name for m in model.hardware_modules()] == ["ServerMod"]
+        assert model.services_required() == ["HostPut", "ServerGet"]
+        assert model.module("HostMod").name == "HostMod"
+        assert model.comm_unit("Channel").name == "Channel"
+        with pytest.raises(ModelError):
+            model.module("Nope")
+        with pytest.raises(ModelError):
+            model.comm_unit("Nope")
+
+    def test_topology_summary(self, producer_consumer_model):
+        topology = producer_consumer_model.topology()
+        assert topology["software_modules"] == ["HostMod"]
+        assert topology["hardware_modules"] == ["ServerMod"]
+        assert topology["comm_units"] == ["Channel"]
+        assert len(topology["bindings"]) == 2
+        kinds = {edge["module"]: edge["module_kind"] for edge in topology["bindings"]}
+        assert kinds == {"HostMod": "software", "ServerMod": "hardware"}
+
+
+class TestValidation:
+    def test_valid_model_passes(self, producer_consumer_model):
+        assert validate_model(producer_consumer_model) == []
+
+    def test_unbound_service_detected(self):
+        model = SystemModel("Sys")
+        model.add_software_module(make_host_module())
+        problems = validate_model(model, raise_on_error=False)
+        assert any("not bound" in p for p in problems)
+        with pytest.raises(ValidationError):
+            validate_model(model)
+
+    def test_binding_to_never_called_service_detected(self, producer_consumer_model):
+        model = producer_consumer_model
+        # HostMod never calls ServerGet, but bind it anyway.
+        model.bindings.append(type(model.bindings[0])("HostMod", "ServerGet", "Channel"))
+        problems = validate_model(model, raise_on_error=False)
+        assert any("never calls" in p for p in problems)
+
+    def test_view_library_gaps_detected(self, producer_consumer_model):
+        empty_library = MultiViewLibrary()
+        problems = validate_model(producer_consumer_model, library=empty_library,
+                                  raise_on_error=False)
+        assert any("SW simulation view" in p for p in problems)
+        assert any("HW view" in p for p in problems)
+
+    def test_view_library_with_all_views_passes(self, producer_consumer_model):
+        library = build_view_library([producer_consumer_model.comm_unit("Channel")])
+        assert validate_model(producer_consumer_model, library=library) == []
+
+    def test_platform_views_checked_when_requested(self, producer_consumer_model):
+        library = build_view_library([producer_consumer_model.comm_unit("Channel")])
+        problems = validate_model(producer_consumer_model, library=library,
+                                  platforms=["pc_at_fpga"], raise_on_error=False)
+        assert any("SW synthesis view" in p for p in problems)
+
+    def test_library_must_be_a_multiview_library(self, producer_consumer_model):
+        problems = validate_model(producer_consumer_model, library={},
+                                  raise_on_error=False)
+        assert any("MultiViewLibrary" in p for p in problems)

@@ -1,0 +1,128 @@
+"""Unit tests of ports, services and modules of the core model."""
+
+import pytest
+
+from repro.core.module import HardwareModule, SoftwareModule
+from repro.core.port import Port, PortDirection, check_unique_ports, input_port, output_port
+from repro.core.service import Service, ServiceParam
+from repro.ir import FsmBuilder, Assign, INT, PortWrite, var
+from repro.ir.dtypes import BIT, word_type
+from repro.utils.errors import ModelError
+
+from tests.conftest import make_host_module, make_put_like_service, make_server_module
+
+
+class TestPort:
+    def test_defaults(self):
+        port = Port("DATA")
+        assert port.direction is PortDirection.INOUT
+        assert port.dtype == BIT
+        assert port.initial == 0
+
+    def test_helpers(self):
+        assert input_port("A").direction is PortDirection.IN
+        assert output_port("B").direction is PortDirection.OUT
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Port("bad name")
+        with pytest.raises(ModelError):
+            Port("DATA", direction="in")
+        with pytest.raises(ModelError):
+            Port("DATA", dtype=int)
+
+    def test_initial_value_follows_dtype(self):
+        from repro.ir.dtypes import EnumType
+        port = Port("STATE", dtype=EnumType("states", ["A", "B"]))
+        assert port.initial == "A"
+
+    def test_check_unique_ports(self):
+        ports = check_unique_ports([Port("A"), Port("B")])
+        assert list(ports) == ["A", "B"]
+        with pytest.raises(ModelError):
+            check_unique_ports([Port("A"), Port("A")])
+        with pytest.raises(ModelError):
+            check_unique_ports(["not a port"])
+
+
+class TestService:
+    def test_put_like_service_shape(self, put_service):
+        assert put_service.param_names == ["REQUEST"]
+        assert put_service.returns is None
+        assert set(put_service.ports_used()) == {"B_FULL", "DATAIN", "PUTRDY"}
+        assert put_service.interface == "HostIf"
+
+    def test_service_requires_fsm(self):
+        with pytest.raises(ModelError):
+            Service("Bad", fsm=None)
+
+    def test_service_requires_done_state(self):
+        build = FsmBuilder("NEVER")
+        with build.state("Spin") as state:
+            state.stay()
+        with pytest.raises(ModelError, match="done state"):
+            Service("NeverDone", build.build(initial="Spin"))
+
+    def test_parameters_must_be_fsm_variables(self):
+        build = FsmBuilder("SVC")
+        with build.state("A", done=True) as state:
+            state.stay()
+        fsm = build.build(initial="A")
+        with pytest.raises(ModelError, match="declared"):
+            Service("Svc", fsm, params=[ServiceParam("MISSING", INT)])
+
+    def test_returns_requires_result_var(self):
+        build = FsmBuilder("SVC")
+        with build.state("A", done=True) as state:
+            state.stay()
+        fsm = build.build(initial="A")
+        with pytest.raises(ModelError, match="result_var"):
+            Service("Svc", fsm, returns=word_type())
+
+    def test_service_param_validation(self):
+        with pytest.raises(ModelError):
+            ServiceParam("x", int)
+
+
+class TestModules:
+    def test_software_module_requires_fsm(self):
+        with pytest.raises(ModelError):
+            SoftwareModule("Bad", fsm="not an fsm")
+
+    def test_software_module_services_used(self):
+        module = make_host_module()
+        assert module.services_used() == ["HostPut"]
+        assert module.kind == "software"
+        assert len(module.behaviours()) == 1
+
+    def test_hardware_module_processes(self):
+        module = make_server_module()
+        assert module.kind == "hardware"
+        assert list(module.processes) == ["SERVER"]
+        assert module.process("SERVER").name == "SERVER"
+        with pytest.raises(ModelError):
+            module.process("MISSING")
+
+    def test_hardware_module_duplicate_process_rejected(self):
+        build = FsmBuilder("P")
+        with build.state("A", done=True) as state:
+            state.stay()
+        fsm = build.build(initial="A")
+        with pytest.raises(ModelError):
+            HardwareModule("HW", [fsm, fsm])
+
+    def test_hardware_module_internal_signals(self):
+        build = FsmBuilder("P")
+        with build.state("A") as state:
+            state.do(PortWrite("WIRE", 1))
+            state.stay()
+        module = HardwareModule("HW", [build.build(initial="A")],
+                                internal_signals=[Port("WIRE", dtype=BIT)])
+        assert module.all_signal_names() == ["WIRE"]
+
+    def test_module_name_validation(self):
+        build = FsmBuilder("F")
+        with build.state("A", done=True) as state:
+            state.stay()
+        with pytest.raises(ModelError):
+            SoftwareModule("bad name", build.build(initial="A"))

@@ -1,0 +1,157 @@
+"""Unit tests of the co-simulation building blocks (accessors, trace, policies)."""
+
+import pytest
+
+from repro.cosim import (
+    CliPortAccessor,
+    OneTransitionPerActivation,
+    RunToIdle,
+    ServiceCallTrace,
+    SignalPortAccessor,
+)
+from repro.cosim.services import ServiceInstance, ServiceRegistry
+from repro.desim import Simulator
+from repro.ir import Assign, FsmBuilder, FsmInstance, INT, var
+from repro.utils.errors import SimulationError
+
+from tests.conftest import make_put_like_service
+
+
+class TestPortAccessors:
+    def _simulator_with_signals(self):
+        sim = Simulator()
+        data = sim.add_signal("U_DATAIN", init=0)
+        full = sim.add_signal("U_FULL", init=0)
+        return sim, {"DATAIN": data, "B_FULL": full}
+
+    def test_signal_accessor_reads_current_value(self):
+        sim, signal_map = self._simulator_with_signals()
+        accessor = SignalPortAccessor(sim, signal_map)
+        assert accessor.read("B_FULL") == 0
+        assert accessor.reads == 1
+
+    def test_signal_accessor_write_is_delta_delayed(self):
+        sim, signal_map = self._simulator_with_signals()
+        accessor = SignalPortAccessor(sim, signal_map)
+        accessor.write("DATAIN", 9)
+        assert signal_map["DATAIN"].value == 0, "visible only after the update phase"
+        sim.run()
+        assert signal_map["DATAIN"].value == 9
+
+    def test_unknown_port_raises(self):
+        sim, signal_map = self._simulator_with_signals()
+        accessor = SignalPortAccessor(sim, signal_map, writer="test")
+        with pytest.raises(SimulationError, match="unknown port"):
+            accessor.read("MISSING")
+
+    def test_cli_accessor_exposes_paper_api(self):
+        sim, signal_map = self._simulator_with_signals()
+        accessor = CliPortAccessor(sim, signal_map)
+        assert accessor.cli_get_port_value("B_FULL") == 0
+        accessor.cli_output("DATAIN", 3)
+        sim.run()
+        assert signal_map["DATAIN"].value == 3
+        assert accessor.reads == 1 and accessor.writes == 1
+
+    def test_extend_adds_ports(self):
+        sim, signal_map = self._simulator_with_signals()
+        accessor = SignalPortAccessor(sim, {})
+        accessor.extend(signal_map)
+        assert set(accessor.known_ports()) == {"DATAIN", "B_FULL"}
+
+
+class TestServiceCallTrace:
+    def test_begin_is_idempotent_while_pending(self):
+        trace = ServiceCallTrace()
+        first = trace.begin("Mod", "Svc", "Unit", 100)
+        again = trace.begin("Mod", "Svc", "Unit", 200)
+        assert first is again
+        assert first.steps == 2
+        assert len(trace) == 1
+
+    def test_complete_closes_the_pending_record(self):
+        trace = ServiceCallTrace()
+        trace.begin("Mod", "Svc", "Unit", 100)
+        record = trace.complete("Mod", "Svc", 400, result=7)
+        assert record.latency == 300
+        assert record.result == 7
+        assert trace.count(service="Svc") == 1
+
+    def test_complete_without_begin_returns_none(self):
+        trace = ServiceCallTrace()
+        assert trace.complete("Mod", "Svc", 10) is None
+
+    def test_statistics_and_filtering(self):
+        trace = ServiceCallTrace()
+        for start, end in [(0, 100), (200, 500)]:
+            trace.begin("A", "Put", "U", start)
+            trace.complete("A", "Put", end)
+        trace.begin("B", "Get", "U", 50)
+        trace.complete("B", "Get", 60)
+        assert trace.mean_latency(service="Put") == pytest.approx(200)
+        assert trace.count(caller="A") == 2
+        assert trace.services_seen() == ["Get", "Put"]
+        table = trace.as_table()
+        assert "Put" in table and "Get" in table
+
+
+class TestActivationPolicies:
+    def _stepper_fsm(self, limit=10):
+        build = FsmBuilder("STEPPER")
+        build.variable("COUNT", INT, 0)
+        with build.state("Run") as state:
+            state.do(Assign("COUNT", var("COUNT") + 1))
+            state.go("Stop", when=var("COUNT").ge(limit))
+            state.stay()
+        with build.state("Stop", done=True) as state:
+            state.stay()
+        return build.build(initial="Run")
+
+    def test_one_transition_per_activation(self):
+        instance = FsmInstance(self._stepper_fsm())
+        policy = OneTransitionPerActivation()
+        results = policy.activate(instance)
+        assert len(results) == 1
+        assert instance.env["COUNT"] == 1
+
+    def test_run_to_idle_executes_until_done(self):
+        instance = FsmInstance(self._stepper_fsm(limit=5))
+        policy = RunToIdle(max_steps_per_activation=64)
+        results = policy.activate(instance)
+        assert results[-1].done
+        assert len(results) == 5
+
+    def test_run_to_idle_bounded(self):
+        instance = FsmInstance(self._stepper_fsm(limit=1000))
+        policy = RunToIdle(max_steps_per_activation=8)
+        assert len(policy.activate(instance)) == 8
+
+    def test_run_to_idle_validates_bound(self):
+        with pytest.raises(SimulationError):
+            RunToIdle(max_steps_per_activation=0)
+
+
+class TestServiceRegistry:
+    def test_registry_dispatch_and_argument_check(self, put_service):
+        sim = Simulator()
+        signals = {
+            "DATAIN": sim.add_signal("DATAIN", init=0),
+            "B_FULL": sim.add_signal("B_FULL", init=0),
+            "PUTRDY": sim.add_signal("PUTRDY", init=0),
+        }
+        accessor = SignalPortAccessor(sim, signals)
+        trace = ServiceCallTrace()
+        registry = ServiceRegistry("Caller")
+        instance = registry.add(
+            ServiceInstance("Caller", put_service, "Unit", accessor, trace=trace,
+                            time_fn=lambda: sim.now)
+        )
+        handler = registry.call_handler()
+        done, _ = handler(type("C", (), {"service": "PUT"})(), [42])
+        assert not done
+        assert instance.total_steps == 1
+        assert len(trace) == 1
+        with pytest.raises(SimulationError, match="arguments"):
+            instance.step([1, 2])
+        with pytest.raises(SimulationError):
+            registry.get("Missing")

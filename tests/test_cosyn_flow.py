@@ -1,0 +1,182 @@
+"""Tests of software synthesis, hardware synthesis, the flow driver and coherence."""
+
+import pytest
+
+from repro.analysis import back_annotate
+from repro.apps.motor_controller import (
+    MotorControllerConfig,
+    build_session,
+    build_system,
+    build_view_library_for,
+    observables,
+)
+from repro.cosyn import CosynthesisFlow, TargetArchitecture, check_coherence
+from repro.cosyn.hw_synthesis import synthesize_hardware, synthesize_process
+from repro.cosyn.sw_synthesis import synthesize_software
+from repro.platforms import UnixIpcPlatform, get_platform
+from repro.utils.errors import SynthesisError
+
+from tests.conftest import make_producer_consumer_model
+
+
+class TestTargetArchitecture:
+    def test_software_only_platform_rejects_hardware_modules(self):
+        model = make_producer_consumer_model()
+        with pytest.raises(SynthesisError, match="no programmable hardware"):
+            TargetArchitecture(model, UnixIpcPlatform())
+
+    def test_address_map_covers_sw_visible_ports(self):
+        model = make_producer_consumer_model()
+        target = TargetArchitecture(model, get_platform("pc_at_fpga"))
+        address_map = target.address_map()
+        assert "HS_DATAIN" in address_map
+        assert min(address_map.values()) == 0x300
+        assert len(set(address_map.values())) == len(address_map)
+
+    def test_hw_clock_defaults_to_device_recommendation(self):
+        model = make_producer_consumer_model()
+        platform = get_platform("pc_at_fpga")
+        target = TargetArchitecture(model, platform)
+        assert target.hw_clock_ns() == platform.device.recommended_clock_ns
+        custom = TargetArchitecture(model, platform, hw_clock_ns=250)
+        assert custom.hw_clock_ns() == 250
+
+
+class TestSoftwareSynthesis:
+    def test_program_and_metrics(self, pc_at_cosynthesis):
+        _, model, platform, _, result = pc_at_cosynthesis
+        sw = result.software_result("DistributionMod")
+        assert sw.platform_name == "pc_at_fpga"
+        assert "int DISTRIBUTION(void)" in sw.program_text
+        assert "outport(0x3" in sw.program_text
+        assert "cliOutput" not in sw.program_text, "synthesis view must not use the CLI"
+        assert set(sw.service_views) == {"SetupControl", "MotorPosition", "ReadMotorState"}
+        assert sw.code_size_bytes > 200
+        assert sw.worst_activation_ns > 0
+        assert "software synthesis of DistributionMod" in sw.report()
+
+    def test_wrong_module_kind_rejected(self):
+        model = make_producer_consumer_model()
+        target = TargetArchitecture(model, get_platform("pc_at_fpga"))
+        hardware_module = model.module("ServerMod")
+        with pytest.raises(SynthesisError):
+            synthesize_software(target, hardware_module)
+
+    def test_ipc_platform_views_use_system_calls(self):
+        model = make_producer_consumer_model()
+        # Replace the hardware server by a software one so the IPC platform applies.
+        from tests.conftest import make_host_module
+        from repro.core import SystemModel, SoftwareModule
+        from repro.comm import handshake_channel
+        from repro.ir import FsmBuilder, INT
+
+        sw_model = SystemModel("AllSoftware")
+        sw_model.add_comm_unit(handshake_channel("Channel", put_name="HostPut",
+                                                 get_name="ServerGet"))
+        sw_model.add_software_module(make_host_module())
+        build = FsmBuilder("READER")
+        build.variable("RX", INT, 0)
+        with build.state("Fetch") as state:
+            state.call("ServerGet", store="RX", then="Fetch")
+        sw_model.add_software_module(SoftwareModule("ReaderMod", build.build(initial="Fetch")))
+        sw_model.bind("HostMod", "HostPut", "Channel")
+        sw_model.bind("ReaderMod", "ServerGet", "Channel")
+
+        target = TargetArchitecture(sw_model, UnixIpcPlatform())
+        result = synthesize_software(target, sw_model.module("HostMod"))
+        assert "ipc_send" in result.program_text
+
+
+class TestHardwareSynthesis:
+    def test_speed_control_synthesis(self, pc_at_cosynthesis):
+        _, _, platform, _, result = pc_at_cosynthesis
+        hw = result.hardware_result("SpeedControlMod")
+        assert set(hw.processes) == {"POSITION", "CORE", "TIMER"}
+        assert hw.fits_device
+        assert 0 < hw.utilisation() < 1
+        assert hw.estimate.clbs_total > 20
+        assert hw.max_frequency_hz > 5e6
+        assert hw.achievable_clock_ns >= hw.estimate.critical_path_ns
+        assert "entity SpeedControlMod is" in hw.behavioural_vhdl
+        assert "procedure ReadMotorPosition" in hw.behavioural_vhdl
+        assert "hardware synthesis of SpeedControlMod" in hw.report()
+
+    def test_rtl_emitted_per_process(self, pc_at_cosynthesis):
+        _, _, _, _, result = pc_at_cosynthesis
+        hw = result.hardware_result("SpeedControlMod")
+        for process in hw.processes.values():
+            assert "architecture rtl of" in process.rtl_text
+            assert process.estimate.clbs_total > 0
+
+    def test_platform_without_device_rejected(self):
+        config = MotorControllerConfig()
+        model, _ = build_system(config)
+        target = TargetArchitecture.__new__(TargetArchitecture)
+        # Build a target with a device-less platform by bypassing the HW check.
+        platform = UnixIpcPlatform()
+        target.model = model
+        target.platform = platform
+        target._hw_clock_ns = None
+        target.address_base = None
+        with pytest.raises(SynthesisError, match="no FPGA device"):
+            synthesize_hardware(target, model.module("SpeedControlMod"))
+
+    def test_synthesize_process_standalone(self):
+        from repro.apps.motor_controller import build_speed_control
+        module = build_speed_control(MotorControllerConfig())
+        process = synthesize_process(module.process("CORE"))
+        assert process.fsmd.state_count >= len(module.process("CORE").states)
+        assert process.estimate.clbs_total > 0
+
+
+class TestFlowAndCoherence:
+    def test_flow_produces_complete_result(self, pc_at_cosynthesis):
+        _, model, platform, library, result = pc_at_cosynthesis
+        assert result.ok, result.problems
+        assert set(result.software) == {"DistributionMod"}
+        assert set(result.hardware) == {"SpeedControlMod"}
+        assert result.total_clbs() > 0
+        assert result.system_clock_ns() >= 1
+        assert result.software_activation_ns() > 0
+        assert len(result.address_map) == len(model.comm_unit("SwHwUnit").ports)
+        report = result.report()
+        assert "communication binding" in report
+        assert "all co-synthesis constraints satisfied" in report
+
+    def test_flow_requires_platform_instance(self):
+        model, _ = build_system(MotorControllerConfig())
+        with pytest.raises(SynthesisError):
+            CosynthesisFlow(model, "pc_at_fpga")
+
+    def test_missing_platform_views_fail_validation(self):
+        config = MotorControllerConfig()
+        model, _ = build_system(config)
+        library = build_view_library_for({}, config)  # no SW synthesis views
+        from repro.utils.errors import ValidationError
+        with pytest.raises(ValidationError):
+            CosynthesisFlow(model, get_platform("pc_at_fpga"), library=library)
+
+    def test_back_annotation_parameters(self, pc_at_cosynthesis):
+        _, _, _, _, result = pc_at_cosynthesis
+        annotation = back_annotate(result)
+        params = annotation.session_parameters()
+        assert params["clock_period"] == result.system_clock_ns()
+        assert params["sw_activation_period"] >= params["clock_period"]
+        assert annotation.slowdown_versus(100) == result.system_clock_ns() / 100
+        assert "SpeedControlMod" in annotation.hardware_detail
+        assert "DistributionMod" in annotation.software_detail
+
+    def test_coherence_between_cosimulation_and_synthesis(self, pc_at_cosynthesis):
+        config, _, _, _, result = pc_at_cosynthesis
+
+        def factory(clock_period, sw_activation_period):
+            return build_session(MotorControllerConfig(), clock_period=clock_period,
+                                 sw_activation_period=sw_activation_period)
+
+        report = check_coherence(factory, observables, result,
+                                 run_kwargs={"max_time": 20_000_000})
+        assert report.coherent, report.differences
+        assert report.functional["motor_position"] == MotorControllerConfig().final_position
+        assert "COHERENT" in report.report()
+        table = report.as_table()
+        assert "motor_position" in table

@@ -1,0 +1,229 @@
+"""Unit tests of the high-level synthesis passes (DFG, scheduling, allocation,
+FSMD, estimation, RTL)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cosyn.hls import (
+    allocate,
+    asap_schedule,
+    alap_schedule,
+    build_fsmd,
+    build_fsm_dfgs,
+    build_netlist,
+    build_state_dfg,
+    emit_rtl_vhdl,
+    estimate_fsmd,
+    list_schedule,
+)
+from repro.cosyn.hls.dfg import DataFlowGraph, Operation
+from repro.cosyn.hls.scheduling import DEFAULT_RESOURCES
+from repro.ir import Assign, FsmBuilder, If, INT, PortWrite, port, var
+from repro.ir.expr import BinOp
+from repro.ir.fsm import State
+from repro.platforms.fpga import XC4005, XC4010
+from repro.utils.errors import SynthesisError
+
+
+def arithmetic_state():
+    """A state with enough arithmetic to make scheduling interesting."""
+    return State("Compute", actions=[
+        Assign("d", (var("a") + var("b")) * var("c")),
+        Assign("e", var("d") - var("a")),
+        Assign("f", BinOp("min", var("e"), var("b"))),
+        PortWrite("OUTP", var("f") + var("d")),
+    ])
+
+
+def arithmetic_fsm():
+    build = FsmBuilder("ARITH")
+    for name in ("a", "b", "c", "d", "e", "f"):
+        build.variable(name, INT, 1)
+    with build.state("Compute") as state:
+        state.do(Assign("d", (var("a") + var("b")) * var("c")),
+                 Assign("e", var("d") - var("a")),
+                 Assign("f", BinOp("min", var("e"), var("b"))),
+                 PortWrite("OUTP", var("f") + var("d")))
+        state.go("Emit")
+    with build.state("Emit") as state:
+        state.do(PortWrite("OUTP", var("f")))
+        state.go("Compute", when=port("GO").eq(1))
+        state.stay()
+    return build.build(initial="Compute")
+
+
+class TestDfg:
+    def test_operations_extracted_with_dependencies(self):
+        dfg = build_state_dfg(arithmetic_state())
+        assert len(dfg) >= 5
+        assert dfg.critical_length() >= 3
+        histogram = dfg.operator_histogram()
+        assert histogram.get("add", 0) >= 1
+        assert histogram.get("mul", 0) == 1
+        assert "OUTP" in dfg.port_writes
+
+    def test_port_reads_recorded(self):
+        state = State("Read", actions=[Assign("x", port("INP") + 1)])
+        dfg = build_state_dfg(state)
+        assert dfg.port_reads == ["INP"]
+
+    def test_guard_expressions_contribute_operations(self):
+        build = FsmBuilder("G")
+        build.variable("x", INT, 0)
+        with build.state("S") as state:
+            state.go("S", when=(var("x") + 1).gt(3))
+        fsm = build.build(initial="S")
+        dfgs = build_fsm_dfgs(fsm)
+        assert len(dfgs["S"]) >= 2
+
+    def test_conditional_statements_flattened(self):
+        state = State("C", actions=[
+            If(var("x").gt(0), [Assign("y", var("x") + 1)], [Assign("y", 0)]),
+        ])
+        dfg = build_state_dfg(state)
+        assert len(dfg) >= 3
+
+    def test_empty_state_gives_empty_dfg(self):
+        dfg = build_state_dfg(State("Empty"))
+        assert len(dfg) == 0
+        assert dfg.critical_length() == 0
+
+    def test_roots_have_no_predecessors(self):
+        dfg = build_state_dfg(arithmetic_state())
+        for root in dfg.roots():
+            assert dfg.predecessors(root.op_id) == []
+
+    def test_unknown_operation_lookup(self):
+        dfg = DataFlowGraph("S")
+        with pytest.raises(SynthesisError):
+            dfg.operation("nope")
+
+
+class TestScheduling:
+    def test_asap_respects_dependencies(self):
+        dfg = build_state_dfg(arithmetic_state())
+        schedule = asap_schedule(dfg)
+        assert schedule.verify() == []
+        assert schedule.length == dfg.critical_length()
+
+    def test_alap_respects_latency_bound(self):
+        dfg = build_state_dfg(arithmetic_state())
+        asap = asap_schedule(dfg)
+        alap = alap_schedule(dfg, latency=asap.length + 2)
+        assert alap.verify() == []
+        assert alap.length <= asap.length + 2
+
+    def test_alap_below_critical_path_rejected(self):
+        dfg = build_state_dfg(arithmetic_state())
+        with pytest.raises(SynthesisError):
+            alap_schedule(dfg, latency=1)
+
+    def test_list_schedule_respects_resources(self):
+        dfg = build_state_dfg(arithmetic_state())
+        schedule = list_schedule(dfg, {"alu": 1, "mult": 1, "cmp": 1, "logic": 1,
+                                       "divider": 1, "move": 4})
+        assert schedule.verify() == []
+        assert schedule.fu_usage().get("alu", 0) <= 1
+
+    def test_list_schedule_with_more_resources_is_never_longer(self):
+        dfg = build_state_dfg(arithmetic_state())
+        tight = list_schedule(dfg, dict(DEFAULT_RESOURCES, alu=1))
+        wide = list_schedule(dfg, dict(DEFAULT_RESOURCES, alu=4))
+        assert wide.length <= tight.length
+
+    def test_missing_resource_class_rejected(self):
+        dfg = build_state_dfg(arithmetic_state())
+        with pytest.raises(SynthesisError):
+            list_schedule(dfg, {"alu": 1, "cmp": 1, "logic": 1, "divider": 1, "move": 4,
+                                "mult": 0})
+
+    def test_cycle_detection(self):
+        dfg = DataFlowGraph("Loop")
+        dfg.add_operation(Operation("op1", "add", [("var", "a")]))
+        dfg.add_operation(Operation("op2", "add", [("op", "op1")]))
+        dfg.add_edge("op1", "op2")
+        dfg.add_edge("op2", "op1")
+        with pytest.raises(SynthesisError, match="cycle"):
+            asap_schedule(dfg)
+
+    @given(alus=st.integers(min_value=1, max_value=3),
+           multipliers=st.integers(min_value=1, max_value=2))
+    @settings(max_examples=20, deadline=None)
+    def test_list_schedule_always_valid_for_any_resource_mix(self, alus, multipliers):
+        dfg = build_state_dfg(arithmetic_state())
+        resources = dict(DEFAULT_RESOURCES, alu=alus, mult=multipliers)
+        schedule = list_schedule(dfg, resources)
+        assert schedule.verify() == []
+        usage = schedule.fu_usage()
+        assert usage.get("alu", 0) <= alus
+        assert usage.get("mult", 0) <= multipliers
+
+
+class TestAllocationAndFsmd:
+    def _synthesize(self, resources=None):
+        fsm = arithmetic_fsm()
+        dfgs = build_fsm_dfgs(fsm)
+        schedules = {name: list_schedule(dfg, resources) for name, dfg in dfgs.items()}
+        allocation = allocate(fsm, schedules)
+        fsmd = build_fsmd(fsm, schedules, allocation)
+        return fsm, schedules, allocation, fsmd
+
+    def test_allocation_counts_units_and_registers(self):
+        fsm, schedules, allocation, _ = self._synthesize()
+        assert allocation.unit_count() >= 2
+        assert allocation.register_count() >= len(fsm.variables)
+        summary = allocation.summary()
+        assert summary["fsm"] == "ARITH"
+
+    def test_every_real_operation_is_bound(self):
+        _, schedules, allocation, _ = self._synthesize()
+        for schedule in schedules.values():
+            for operation in schedule.dfg.operations:
+                assert operation.op_id in allocation.operation_binding
+
+    def test_fsmd_expands_multi_step_states(self):
+        fsm, schedules, _, fsmd = self._synthesize()
+        compute_states = fsmd.states_of("Compute")
+        assert len(compute_states) == max(1, schedules["Compute"].length)
+        assert fsmd.state_count >= len(fsm.states)
+        assert fsmd.controller_bits() >= 1
+        summary = fsmd.summary()
+        assert summary["behavioural_states"] == 2
+
+    def test_estimate_produces_positive_area_and_delay(self):
+        _, _, _, fsmd = self._synthesize()
+        estimate = estimate_fsmd(fsmd)
+        assert estimate.clbs_total > 0
+        assert estimate.critical_path_ns > 0
+        assert estimate.max_frequency_hz > 1e6
+        assert estimate.fits(XC4010)
+        detail = estimate.as_dict()
+        assert detail["clbs_total"] == estimate.clbs_total
+
+    def test_estimate_merge(self):
+        _, _, _, fsmd = self._synthesize()
+        one = estimate_fsmd(fsmd)
+        both = one.merge(one)
+        assert both.clbs_total == 2 * one.clbs_total
+        assert both.critical_path_ns == one.critical_path_ns
+
+    def test_fewer_resources_give_smaller_datapath(self):
+        _, _, tight_alloc, tight_fsmd = self._synthesize(
+            dict(DEFAULT_RESOURCES, alu=1))
+        _, _, wide_alloc, wide_fsmd = self._synthesize(
+            dict(DEFAULT_RESOURCES, alu=4))
+        tight = estimate_fsmd(tight_fsmd)
+        wide = estimate_fsmd(wide_fsmd)
+        assert tight.clbs_datapath <= wide.clbs_datapath
+
+    def test_netlist_and_rtl_emission(self):
+        _, _, _, fsmd = self._synthesize()
+        netlist = build_netlist(fsmd)
+        assert len(netlist.components_of_kind("register")) >= 6
+        assert len(netlist.components_of_kind("fsm_controller")) == 1
+        assert "component" in netlist.summary_table()
+        rtl = emit_rtl_vhdl(fsmd, netlist)
+        assert "entity ARITH_rtl is" in rtl
+        assert "architecture rtl of ARITH_rtl is" in rtl
+        assert "type control_state is" in rtl
+        assert "rising_edge(clk)" in rtl

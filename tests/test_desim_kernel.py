@@ -1,0 +1,334 @@
+"""Unit tests of the delta-cycle simulation kernel."""
+
+import pytest
+
+from repro.desim import (
+    Delta,
+    Monitor,
+    SignalChange,
+    Simulator,
+    Timeout,
+    WaveformRecorder,
+)
+from repro.desim.monitor import StabilityMonitor
+from repro.desim.simtime import format_time
+from repro.utils.errors import SimulationError
+
+
+class TestSetup:
+    def test_duplicate_signal_name_rejected(self):
+        sim = Simulator()
+        sim.add_signal("s")
+        with pytest.raises(SimulationError):
+            sim.add_signal("s")
+
+    def test_duplicate_process_name_rejected(self):
+        sim = Simulator()
+        sim.add_process("p", lambda: None)
+        with pytest.raises(SimulationError):
+            sim.add_process("p", lambda: None)
+
+    def test_unknown_signal_lookup_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.signal("missing")
+
+    def test_clock_period_must_be_even_and_positive(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.add_clock("clk", period=5)
+        with pytest.raises(SimulationError):
+            sim.add_clock("clk2", period=0)
+
+    def test_generator_process_with_sensitivity_rejected(self):
+        sim = Simulator()
+        sig = sim.add_signal("s")
+
+        def gen():
+            yield Timeout(1)
+
+        with pytest.raises(SimulationError):
+            sim.add_process("bad", gen, sensitivity=[sig])
+
+
+class TestScheduling:
+    def test_delayed_transaction_applies_at_the_right_time(self):
+        sim = Simulator()
+        sig = sim.add_signal("s", init=0)
+
+        def stim():
+            sim.schedule(sig, 1, delay=50)
+            yield Timeout(200)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        assert sig.value == 1
+        assert sig.last_changed == 50
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        sig = sim.add_signal("s")
+        with pytest.raises(ValueError):
+            sim.schedule(sig, 1, delay=-1)
+
+    def test_zero_delay_assignment_takes_effect_next_delta(self):
+        sim = Simulator()
+        a = sim.add_signal("a", init=0)
+        b = sim.add_signal("b", init=0)
+        observed = []
+
+        def chain():
+            if a.event:
+                observed.append(("a_seen", sim.now, b.value))
+                sim.schedule(b, a.value + 1, 0)
+
+        sim.add_process("chain", chain, sensitivity=[a])
+
+        def stim():
+            yield Timeout(10)
+            sim.schedule(a, 5, 0)
+            yield Timeout(10)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        assert b.value == 6
+        # When the chain process saw the event on a, b was still the old value.
+        assert observed[0] == ("a_seen", 10, 0)
+
+    def test_run_until_stops_at_the_requested_time(self):
+        sim = Simulator()
+        sim.add_clock("clk", period=10)
+        end = sim.run(until=95)
+        assert end <= 95
+        assert sim.now <= 95
+
+    def test_run_for_advances_relative_to_now(self):
+        sim = Simulator()
+        sim.add_clock("clk", period=10)
+        sim.run(until=50)
+        sim.run_for(30)
+        assert sim.now <= 80
+
+    def test_simulation_without_activity_ends_immediately(self):
+        sim = Simulator()
+        sim.add_signal("s")
+        assert sim.run() == 0
+
+
+class TestClockAndProcesses:
+    def test_clock_produces_expected_number_of_edges(self):
+        sim = Simulator()
+        clk = sim.add_clock("clk", period=10)
+        edges = []
+
+        def counter():
+            if clk.event and clk.value == 1:
+                edges.append(sim.now)
+
+        sim.add_process("counter", counter, sensitivity=[clk])
+        sim.run(until=100)
+        # Edges at 0, 10, ..., 100.
+        assert len(edges) == 11
+        assert edges[1] - edges[0] == 10
+
+    def test_sensitivity_process_not_run_without_events(self):
+        sim = Simulator()
+        sig = sim.add_signal("quiet")
+        runs = []
+        sim.add_process("watcher", lambda: runs.append(sim.now),
+                        sensitivity=[sig], initial_run=False)
+        sim.run(until=100)
+        assert runs == []
+
+    def test_generator_process_timeout_sequence(self):
+        sim = Simulator()
+        times = []
+
+        def stepper():
+            for _ in range(3):
+                yield Timeout(25)
+                times.append(sim.now)
+
+        sim.add_process("stepper", stepper)
+        sim.run()
+        assert times == [25, 50, 75]
+
+    def test_generator_wait_on_signal_change(self):
+        sim = Simulator()
+        data = sim.add_signal("data", init=0)
+        seen = []
+
+        def producer():
+            yield Timeout(30)
+            sim.schedule(data, 1)
+            yield Timeout(30)
+            sim.schedule(data, 2)
+
+        def consumer():
+            while True:
+                yield SignalChange(data)
+                seen.append((sim.now, data.value))
+                if data.value >= 2:
+                    return
+
+        sim.add_process("producer", producer)
+        sim.add_process("consumer", consumer)
+        sim.run()
+        assert seen == [(30, 1), (60, 2)]
+
+    def test_signal_change_with_timeout_resumes_without_event(self):
+        sim = Simulator()
+        data = sim.add_signal("data", init=0)
+        wakeups = []
+
+        def watcher():
+            yield SignalChange(data, timeout=40)
+            wakeups.append((sim.now, data.event))
+
+        sim.add_process("watcher", watcher)
+        sim.run()
+        assert wakeups == [(40, False)]
+
+    def test_delta_wait_resumes_in_same_time_point(self):
+        sim = Simulator()
+        marks = []
+
+        def process():
+            marks.append(("before", sim.now))
+            yield Delta()
+            marks.append(("after", sim.now))
+
+        sim.add_process("p", process)
+        sim.run()
+        assert marks == [("before", 0), ("after", 0)]
+
+    def test_finished_generator_is_not_rerun(self):
+        sim = Simulator()
+        counter = {"runs": 0}
+
+        def one_shot():
+            counter["runs"] += 1
+            yield Timeout(10)
+
+        process = sim.add_process("oneshot", one_shot)
+        sim.run(until=100)
+        assert process.finished
+        assert counter["runs"] == 1
+
+    def test_zero_delay_oscillation_hits_delta_limit(self):
+        sim = Simulator(max_deltas=50)
+        a = sim.add_signal("a", init=0)
+
+        def oscillator():
+            sim.schedule(a, 1 - a.value, 0)
+
+        sim.add_process("osc", oscillator, sensitivity=[a])
+
+        def kick():
+            yield Timeout(5)
+            sim.schedule(a, 1, 0)
+
+        sim.add_process("kick", kick)
+        with pytest.raises(SimulationError, match="delta-cycle limit"):
+            sim.run(until=100)
+
+    def test_statistics_are_collected(self):
+        sim = Simulator()
+        sim.add_clock("clk", period=10)
+        sim.run(until=100)
+        stats = sim.statistics
+        assert stats["transactions"] > 0
+        assert stats["process_runs"] > 0
+        assert stats["delta_cycles"] > 0
+
+
+class TestMonitors:
+    def test_monitor_records_violations(self):
+        sim = Simulator()
+        sig = sim.add_signal("level", init=0)
+        monitor = sim.add_monitor(Monitor("bound", lambda s: s.peek("level") <= 2,
+                                           message="level exceeded 2"))
+
+        def stim():
+            for value in (1, 2, 3, 1):
+                sim.schedule(sig, value)
+                yield Timeout(10)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        assert not monitor.ok
+        assert any("level exceeded" in v.message for v in monitor.violations)
+
+    def test_monitor_fail_fast_raises(self):
+        sim = Simulator()
+        sig = sim.add_signal("level", init=0)
+        sim.add_monitor(Monitor("bound", lambda s: s.peek("level") == 0, fail_fast=True))
+
+        def stim():
+            yield Timeout(10)
+            sim.schedule(sig, 1)
+            yield Timeout(10)
+
+        sim.add_process("stim", stim)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_stability_monitor_accepts_stable_data(self):
+        sim = Simulator()
+        data = sim.add_signal("data", init=0)
+        valid = sim.add_signal("valid", init=0)
+        monitor = sim.add_monitor(StabilityMonitor("stable", data, valid))
+
+        def stim():
+            sim.schedule(data, 42)
+            yield Timeout(10)
+            sim.schedule(valid, 1)
+            yield Timeout(30)
+            sim.schedule(valid, 0)
+            yield Timeout(10)
+            sim.schedule(data, 7)
+            yield Timeout(10)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        assert monitor.ok
+
+    def test_stability_monitor_catches_change_while_valid(self):
+        sim = Simulator()
+        data = sim.add_signal("data", init=0)
+        valid = sim.add_signal("valid", init=0)
+        monitor = sim.add_monitor(StabilityMonitor("stable", data, valid))
+
+        def stim():
+            sim.schedule(data, 1)
+            sim.schedule(valid, 1)
+            yield Timeout(10)
+            sim.schedule(data, 2)  # changes while valid is asserted
+            yield Timeout(10)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        assert not monitor.ok
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize("value, expected", [
+        (0, "0 ns"),
+        (999, "999 ns"),
+        (1_000, "1 us"),
+        (1_500, "1500 ns"),
+        (2_000_000, "2 ms"),
+        (3_000_000_000, "3 s"),
+    ])
+    def test_format_time(self, value, expected):
+        assert format_time(value) == expected
+
+
+class TestRecorderIntegration:
+    def test_recorder_sees_changes_through_the_kernel(self):
+        sim = Simulator()
+        clk = sim.add_clock("clk", period=20)
+        recorder = sim.add_recorder(WaveformRecorder([clk]))
+        sim.run(until=100)
+        assert recorder.count_pulses("clk") >= 5
+        assert recorder.history("clk")[0][0] == 0

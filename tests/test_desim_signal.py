@@ -1,0 +1,102 @@
+"""Unit tests of signals and resolved signals."""
+
+import pytest
+
+from repro.desim.signal import ResolvedSignal, Signal
+from repro.utils.errors import SimulationError, ModelError
+
+
+class TestSignal:
+    def test_initial_value_and_name(self):
+        signal = Signal("data", init=7)
+        assert signal.name == "data"
+        assert signal.value == 7
+        assert signal.read() == 7
+        assert signal.change_count == 0
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ModelError):
+            Signal("bad name")
+
+    def test_stage_then_apply_changes_value_and_sets_event(self):
+        signal = Signal("data", init=0)
+        signal.stage(5)
+        assert signal.value == 0, "staged value must not be visible before apply"
+        changed = signal.apply_pending(now=100)
+        assert changed is True
+        assert signal.value == 5
+        assert signal.event is True
+        assert signal.last_changed == 100
+        assert signal.change_count == 1
+
+    def test_apply_without_pending_is_a_noop(self):
+        signal = Signal("data", init=0)
+        assert signal.apply_pending(now=10) is False
+        assert signal.event is False
+
+    def test_same_value_transaction_produces_no_event(self):
+        signal = Signal("data", init=3)
+        signal.stage(3)
+        assert signal.apply_pending(now=50) is False
+        assert signal.event is False
+        assert signal.change_count == 0
+
+    def test_last_stage_wins_within_one_delta(self):
+        signal = Signal("data", init=0)
+        signal.stage(1)
+        signal.stage(2)
+        signal.apply_pending(now=0)
+        assert signal.value == 2
+
+    def test_clear_event(self):
+        signal = Signal("data", init=0)
+        signal.stage(1)
+        signal.apply_pending(now=0)
+        signal.clear_event()
+        assert signal.event is False
+        assert signal.value == 1
+
+    def test_reset_restores_initial_state(self):
+        signal = Signal("data", init=9)
+        signal.stage(1)
+        signal.apply_pending(now=5)
+        signal.reset()
+        assert signal.value == 9
+        assert signal.change_count == 0
+        assert signal.last_changed == 0
+
+
+class TestResolvedSignal:
+    def test_single_driver_behaves_like_plain_signal(self):
+        signal = ResolvedSignal("bus", init=0)
+        signal.drive("a", 4)
+        signal.apply_pending(now=0)
+        assert signal.value == 4
+
+    def test_conflicting_drivers_raise(self):
+        signal = ResolvedSignal("bus", init=0)
+        signal.drive("a", 1)
+        with pytest.raises(SimulationError):
+            signal.drive("b", 2)
+
+    def test_agreeing_drivers_resolve(self):
+        signal = ResolvedSignal("bus", init=0)
+        signal.drive("a", 7)
+        signal.drive("b", 7)
+        signal.apply_pending(now=0)
+        assert signal.value == 7
+
+    def test_releasing_a_driver_with_none(self):
+        signal = ResolvedSignal("bus", init=0)
+        signal.drive("a", 5)
+        signal.apply_pending(now=0)
+        signal.drive("a", None)
+        signal.apply_pending(now=1)
+        assert signal.value == 0, "no drivers left resolves to the default 0"
+
+    def test_custom_resolver(self):
+        signal = ResolvedSignal("wired_or", init=0, resolver=lambda vals: int(any(vals)))
+        signal.drive("a", 0)
+        signal.drive("b", 1)
+        signal.apply_pending(now=0)
+        assert signal.value == 1

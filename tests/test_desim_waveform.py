@@ -1,0 +1,82 @@
+"""Unit tests of the waveform recorder."""
+
+from repro.desim import Simulator, Timeout, WaveformRecorder
+
+
+def _run_small_trace():
+    sim = Simulator()
+    data = sim.add_signal("data", init=0)
+    strobe = sim.add_signal("strobe", init=0)
+    recorder = sim.add_recorder(WaveformRecorder())
+
+    def stim():
+        yield Timeout(10)
+        sim.schedule(data, 5)
+        sim.schedule(strobe, 1)
+        yield Timeout(10)
+        sim.schedule(strobe, 0)
+        yield Timeout(10)
+        sim.schedule(data, 9)
+        sim.schedule(strobe, 1)
+        yield Timeout(10)
+        sim.schedule(strobe, 0)
+
+    sim.add_process("stim", stim)
+    sim.run()
+    return recorder
+
+
+class TestWaveformRecorder:
+    def test_history_is_time_ordered(self):
+        recorder = _run_small_trace()
+        history = recorder.history("data")
+        assert history == [(10, 5), (30, 9)]
+
+    def test_value_at_interpolates_between_changes(self):
+        recorder = _run_small_trace()
+        assert recorder.value_at("data", 0) == 0
+        assert recorder.value_at("data", 10) == 5
+        assert recorder.value_at("data", 29) == 5
+        assert recorder.value_at("data", 1000) == 9
+
+    def test_count_pulses_counts_rising_transitions(self):
+        recorder = _run_small_trace()
+        assert recorder.count_pulses("strobe") == 2
+
+    def test_edge_times(self):
+        recorder = _run_small_trace()
+        assert recorder.edge_times("strobe") == [10, 30]
+
+    def test_unknown_signal_has_empty_history(self):
+        recorder = _run_small_trace()
+        assert recorder.history("does_not_exist") == []
+        assert recorder.count_pulses("does_not_exist") == 0
+
+    def test_dump_contains_all_changes(self):
+        recorder = _run_small_trace()
+        dump = recorder.dump(["data", "strobe"])
+        assert "data" in dump and "strobe" in dump
+        assert dump.count("\n") >= 6
+
+    def test_vcd_export_structure(self):
+        recorder = _run_small_trace()
+        vcd = recorder.to_vcd(["data", "strobe"])
+        assert vcd.startswith("$timescale 1ns $end")
+        assert "$enddefinitions $end" in vcd
+        assert "#10" in vcd and "#30" in vcd
+
+    def test_filtered_recorder_ignores_other_signals(self):
+        sim = Simulator()
+        keep = sim.add_signal("keep", init=0)
+        sim.add_signal("drop", init=0)
+        recorder = sim.add_recorder(WaveformRecorder([keep]))
+
+        def stim():
+            yield Timeout(5)
+            sim.schedule(sim.signal("keep"), 1)
+            sim.schedule(sim.signal("drop"), 1)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        assert recorder.history("keep") == [(5, 1)]
+        assert recorder.history("drop") == []

@@ -1,0 +1,129 @@
+"""Unit tests of the VHDL back end (HW views, processes, entities)."""
+
+import pytest
+
+from repro.hdl.emitter import (
+    EmitContext,
+    emit_architecture,
+    emit_entity,
+    emit_expr,
+    emit_module,
+    emit_process,
+    emit_service_procedure,
+    emit_stmt,
+)
+from repro.ir import Assign, FsmBuilder, If, INT, PortWrite, port, var
+from repro.ir.expr import BinOp, UnOp
+from repro.utils.errors import SynthesisError
+
+from tests.conftest import make_put_like_service, make_server_module
+
+
+class TestExpressionEmission:
+    def test_operator_spelling(self):
+        assert emit_expr(var("a") + 1) == "(a + 1)"
+        assert emit_expr(var("a").ne(2)) == "(a /= 2)"
+        assert emit_expr(var("a").and_(var("b"))) == "(a and b)"
+        assert emit_expr(UnOp("not", var("a"))) == "(not a)"
+        assert emit_expr(UnOp("abs", var("a"))) == "(abs a)"
+
+    def test_bit_ports_get_quoted_literals(self):
+        context = EmitContext(bit_ports={"B_FULL"})
+        assert emit_expr(port("B_FULL").eq(1), context) == "(B_FULL = '1')"
+        assert emit_expr(port("OTHER").eq(1), context) == "(OTHER = 1)"
+
+    def test_statement_emission(self):
+        context = EmitContext(bit_ports={"FLAG"})
+        assert emit_stmt(Assign("x", var("x") + 1), context) == ["  x := (x + 1);"]
+        assert emit_stmt(PortWrite("FLAG", 1), context) == ["  FLAG <= '1';"]
+        assert emit_stmt(PortWrite("DATA", var("x")), context) == ["  DATA <= x;"]
+        lines = emit_stmt(If(var("x").eq(1), [Assign("y", 1)]), context)
+        assert lines[0] == "  if (x = 1) then"
+        assert lines[-1] == "  end if;"
+
+    def test_variable_names_use_variable_assignment(self):
+        context = EmitContext(variable_names={"NEXT_STATE"})
+        assert emit_stmt(PortWrite("NEXT_STATE", 1), context) == ["  NEXT_STATE := 1;"]
+
+
+class TestServiceProcedure:
+    def test_hw_view_shape(self, put_service):
+        context = EmitContext(bit_ports={"B_FULL", "PUTRDY"})
+        text = emit_service_procedure(put_service, context)
+        assert text.startswith("-- PUT: hardware view")
+        assert "procedure PUT(REQUEST : in integer range 0 to 65535; DONE : out std_logic) is" in text
+        assert "case PUT_NEXT_STATE is" in text
+        assert "when PUT_INIT =>" in text
+        assert "DONE := '1';" in text and "DONE := '0';" in text
+        assert "end procedure PUT;" in text
+
+    def test_get_like_service_has_result_parameter(self):
+        from repro.comm import make_get_service
+        service = make_get_service("GET", "HS_")
+        text = emit_service_procedure(service)
+        assert "VALUE : out integer range 0 to 65535" in text
+
+    def test_transitions_become_if_elsif_chain(self, put_service):
+        text = emit_service_procedure(put_service,
+                                      EmitContext(bit_ports={"B_FULL", "PUTRDY"}))
+        init_block = text.split("when PUT_INIT =>")[1].split("when PUT_WAIT_B_FULL")[0]
+        assert "if (B_FULL = '1') then" in init_block
+        assert "else" in init_block
+        assert init_block.count("end if;") == 1
+
+    def test_nested_service_call_rejected(self):
+        from repro.core.service import Service
+        build = FsmBuilder("NESTED")
+        with build.state("A") as state:
+            state.call("Inner", then="B")
+        with build.state("B", done=True) as state:
+            state.stay()
+        service = Service("NESTED", build.build(initial="A"))
+        with pytest.raises(SynthesisError):
+            emit_service_procedure(service)
+
+
+class TestProcessAndModule:
+    def test_clocked_process_shape(self):
+        build = FsmBuilder("COUNTER")
+        build.variable("COUNT", INT, 0)
+        with build.state("Run") as state:
+            state.do(Assign("COUNT", var("COUNT") + 1))
+            state.stay()
+        text = emit_process(build.build(initial="Run"))
+        assert "COUNTER_proc : process(clk, rst)" in text
+        assert "elsif rising_edge(clk) then" in text
+        assert "case COUNTER_STATE is" in text
+        assert "variable COUNT : integer range -32768 to 32767 := 0;" in text
+
+    def test_process_with_service_call_uses_done_flag(self):
+        server = make_server_module()
+        text = emit_process(server.process("SERVER"))
+        assert "ServerGet(RX, CALL_DONE);" in text
+        assert "if CALL_DONE = '1' then" in text
+
+    def test_entity_emission(self, put_service):
+        from repro.core.port import Port, PortDirection
+        from repro.ir.dtypes import BIT
+        ports = [Port("MOT_PULSE", PortDirection.OUT, BIT)]
+        text = emit_entity("SpeedControl", ports)
+        assert "entity SpeedControl is" in text
+        assert "MOT_PULSE : out std_logic" in text
+        assert "end entity SpeedControl;" in text
+
+    def test_emit_module_combines_entity_architecture_and_services(self):
+        from repro.comm import make_get_service
+        server = make_server_module()
+        service = make_get_service("ServerGet", "HS_")
+        text = emit_module(server, services=[service])
+        assert "entity ServerMod is" in text
+        assert "architecture behaviour of ServerMod is" in text
+        assert "procedure ServerGet" in text
+        assert "SERVER_proc : process(clk, rst)" in text
+
+    def test_architecture_declares_internal_signals(self):
+        from repro.apps.motor_controller import MotorControllerConfig, build_speed_control
+        module = build_speed_control(MotorControllerConfig())
+        text = emit_architecture(module)
+        assert "signal PULSECMD : std_logic;" in text
+        assert "signal TARGETSIG : integer range 0 to 65535;" in text

@@ -1,0 +1,129 @@
+"""Unit tests of the IR data types."""
+
+import pytest
+
+from repro.ir.dtypes import (
+    BIT,
+    BOOL,
+    INT,
+    BitType,
+    BitVectorType,
+    BoolType,
+    EnumType,
+    IntType,
+    word_type,
+)
+from repro.utils.errors import ModelError
+
+
+class TestBitType:
+    def test_accepts_bits_and_booleans(self):
+        assert BIT.check(0) == 0
+        assert BIT.check(1) == 1
+        assert BIT.check(True) == 1
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ModelError):
+            BIT.check(2)
+        with pytest.raises(ModelError):
+            BIT.check("1")
+
+    def test_language_names_and_width(self):
+        assert BIT.c_name() == "int"
+        assert BIT.vhdl_name() == "std_logic"
+        assert BIT.bit_width() == 1
+
+    def test_equality_of_instances(self):
+        assert BitType() == BitType()
+        assert BitType() != BoolType()
+
+
+class TestIntType:
+    def test_default_range_is_16_bit_signed(self):
+        assert INT.check(-32768) == -32768
+        assert INT.check(32767) == 32767
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ModelError):
+            INT.check(40_000)
+        with pytest.raises(ModelError):
+            IntType(0, 10).check(-1)
+
+    def test_bool_is_not_an_integer_value(self):
+        with pytest.raises(ModelError):
+            INT.check(True)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ModelError):
+            IntType(5, 4)
+
+    def test_bit_width_grows_with_range(self):
+        assert IntType(0, 1).bit_width() == 1
+        assert IntType(0, 255).bit_width() == 8
+        assert IntType(0, 256).bit_width() == 9
+        assert IntType(-128, 127).bit_width() == 8
+
+    def test_c_name_depends_on_signedness(self):
+        assert IntType(0, 100).c_name() == "unsigned int"
+        assert IntType(-100, 100).c_name() == "int"
+
+    def test_vhdl_name_carries_the_range(self):
+        assert IntType(0, 7).vhdl_name() == "integer range 0 to 7"
+
+    def test_word_type_helper(self):
+        word = word_type(16)
+        assert word.check(65535) == 65535
+        with pytest.raises(ModelError):
+            word.check(65536)
+
+
+class TestBitVectorType:
+    def test_range_check(self):
+        vec = BitVectorType(4)
+        assert vec.check(15) == 15
+        with pytest.raises(ModelError):
+            vec.check(16)
+        with pytest.raises(ModelError):
+            vec.check(-1)
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ModelError):
+            BitVectorType(0)
+
+    def test_vhdl_name(self):
+        assert BitVectorType(8).vhdl_name() == "std_logic_vector(7 downto 0)"
+
+
+class TestEnumType:
+    def test_literals_and_default(self):
+        states = EnumType("statetable", ["INIT", "RUN", "IDLE"])
+        assert states.default == "INIT"
+        assert states.check("RUN") == "RUN"
+        assert states.index_of("IDLE") == 2
+
+    def test_unknown_literal_rejected(self):
+        states = EnumType("statetable", ["A", "B"])
+        with pytest.raises(ModelError):
+            states.check("C")
+
+    def test_duplicate_literus_rejected(self):
+        with pytest.raises(ModelError):
+            EnumType("bad", ["A", "A"])
+
+    def test_empty_enum_rejected(self):
+        with pytest.raises(ModelError):
+            EnumType("empty", [])
+
+    def test_bit_width_is_ceil_log2(self):
+        assert EnumType("two", ["A", "B"]).bit_width() == 1
+        assert EnumType("five", ["A", "B", "C", "D", "E"]).bit_width() == 3
+
+
+class TestBoolType:
+    def test_check_coerces_to_bool(self):
+        assert BOOL.check(1) is True
+        assert BOOL.check(0) is False
+
+    def test_names(self):
+        assert BOOL.vhdl_name() == "boolean"
+        assert BOOL.bit_width() == 1

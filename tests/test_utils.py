@@ -1,0 +1,116 @@
+"""Unit tests of repro.utils: errors, identifiers, text helpers."""
+
+import pytest
+
+from repro.utils.errors import (
+    ModelError,
+    ReproError,
+    SimulationError,
+    SynthesisError,
+    ValidationError,
+    ViewError,
+)
+from repro.utils.ids import check_identifier, unique_name
+from repro.utils.text import format_table, indent_block
+
+
+class TestErrors:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (ModelError, SimulationError, SynthesisError, ViewError):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_error_collects_problems(self):
+        error = ValidationError(["first problem", "second problem"])
+        assert error.problems == ["first problem", "second problem"]
+        assert "first problem" in str(error)
+        assert "second problem" in str(error)
+
+    def test_validation_error_is_a_model_error(self):
+        assert issubclass(ValidationError, ModelError)
+
+    def test_validation_error_with_no_problems(self):
+        error = ValidationError([])
+        assert error.problems == []
+        assert "unknown problem" in str(error)
+
+
+class TestCheckIdentifier:
+    def test_accepts_simple_names(self):
+        assert check_identifier("B_FULL") == "B_FULL"
+        assert check_identifier("SetupControl") == "SetupControl"
+        assert check_identifier("x1") == "x1"
+
+    def test_rejects_empty_and_non_string(self):
+        with pytest.raises(ModelError):
+            check_identifier("")
+        with pytest.raises(ModelError):
+            check_identifier(None)
+        with pytest.raises(ModelError):
+            check_identifier(42)
+
+    def test_rejects_leading_digit_and_bad_chars(self):
+        with pytest.raises(ModelError):
+            check_identifier("1abc")
+        with pytest.raises(ModelError):
+            check_identifier("with space")
+        with pytest.raises(ModelError):
+            check_identifier("with-dash")
+
+    def test_rejects_vhdl_incompatible_underscores(self):
+        with pytest.raises(ModelError):
+            check_identifier("double__underscore")
+        with pytest.raises(ModelError):
+            check_identifier("trailing_")
+
+    def test_rejects_reserved_words_case_insensitive(self):
+        for word in ("signal", "Case", "WAIT", "int", "switch"):
+            with pytest.raises(ModelError):
+                check_identifier(word)
+
+    def test_error_message_names_the_role(self):
+        with pytest.raises(ModelError, match="port name"):
+            check_identifier("bad name", "port name")
+
+
+class TestUniqueName:
+    def test_generates_distinct_names(self):
+        fresh = unique_name("tmp")
+        names = {fresh() for _ in range(100)}
+        assert len(names) == 100
+        assert all(name.startswith("tmp") for name in names)
+
+    def test_prefix_is_validated(self):
+        with pytest.raises(ModelError):
+            unique_name("bad prefix")
+
+    def test_independent_factories_do_not_share_state(self):
+        first = unique_name("a")
+        second = unique_name("a")
+        assert first() == second() == "a1"
+
+
+class TestText:
+    def test_indent_block_indents_non_empty_lines(self):
+        text = "line1\n\nline2"
+        indented = indent_block(text, levels=2, width=2)
+        lines = indented.splitlines()
+        assert lines[0] == "    line1"
+        assert lines[1] == ""
+        assert lines[2] == "    line2"
+
+    def test_format_table_aligns_columns(self):
+        table = format_table(["name", "value"], [("a", 1), ("longer", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| name")
+        assert all(line.startswith("|") and line.endswith("|") for line in lines)
+
+    def test_format_table_handles_empty_rows(self):
+        table = format_table(["only", "header"], [])
+        assert "only" in table
+        assert len(table.splitlines()) == 2
+
+    def test_format_table_converts_cells_to_strings(self):
+        table = format_table(["k", "v"], [("x", None), ("y", 3.5)])
+        assert "None" in table
+        assert "3.5" in table

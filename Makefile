@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-quick bench-seed quickstart
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full kernel perf sweep; merges a "current" run into BENCH_kernel.json.
+bench:
+	$(PYTHON) -m benchmarks.perf --label current
+
+# ~1 s smoke run of the same harness (also exercised by the test suite).
+bench-quick:
+	$(PYTHON) -m benchmarks.perf --quick --label quick --no-write
+
+# Record a baseline before touching the kernel.
+bench-seed:
+	$(PYTHON) -m benchmarks.perf --label seed
+
+quickstart:
+	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,10 @@
+"""Benchmarks: figure/claim regeneration tests and the kernel perf harness.
+
+Two kinds of content live here:
+
+* ``test_fig*.py`` / ``test_abl*.py`` / ``test_claim*.py`` — pytest modules
+  that regenerate the paper's figures and claims (see ``conftest.py``).
+* ``perf/`` — the kernel performance harness, runnable as
+  ``python -m benchmarks.perf`` (see ``perf/__init__.py`` and the top-level
+  ``Makefile``'s ``bench`` target).
+"""

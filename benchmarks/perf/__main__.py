@@ -1,0 +1,60 @@
+"""Command-line entry point: ``python -m benchmarks.perf``.
+
+Typical sequence::
+
+    python -m benchmarks.perf --label seed       # before a kernel change
+    python -m benchmarks.perf --label current    # after the change
+    python -m benchmarks.perf --quick            # CI smoke run (~1 s)
+
+Both invocations merge into the same ``BENCH_kernel.json``; once seed and
+current are both recorded the file carries speedups and the acceptance
+verdict, which this entry point also prints.
+"""
+
+import argparse
+import json
+import sys
+
+from benchmarks.perf.harness import DEFAULT_OUTPUT, run_suite, update_bench_file
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="Time the desim kernel over idle-heavy and active-heavy "
+                    "workloads and merge the results into BENCH_kernel.json.",
+    )
+    parser.add_argument("--label", default="current",
+                        help="label to store this run under (default: current; "
+                             "use 'seed' to record a baseline)")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        help="result JSON path (default: repo-root "
+                             "BENCH_kernel.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: small sweeps and short horizons")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timed repetitions per point; best is kept")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print results without touching the JSON file")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+
+    run = run_suite(quick=args.quick, repeats=args.repeats, progress=print)
+    if args.no_write:
+        print(json.dumps(run, indent=2))
+        return 0
+    document = update_bench_file(args.output, args.label, run)
+    print(f"\nwrote label {args.label!r} to {args.output}")
+    acceptance = document.get("acceptance")
+    if acceptance is not None:
+        verdict = "PASS" if acceptance["pass"] else "FAIL"
+        print(f"acceptance ({acceptance['point']['workload']} "
+              f"n={acceptance['point']['n_processes']}): "
+              f"speedup={acceptance['speedup']} "
+              f"threshold={acceptance['threshold']} -> {verdict}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Timing harness and result-file management for the kernel benchmarks.
+
+The harness writes one JSON file (``BENCH_kernel.json`` at the repo root by
+default) accumulating labelled runs::
+
+    {"runs": {"seed": {...}, "current": {...}},
+     "speedup": {...}, "acceptance": {...}}
+
+Labels are free-form but two are special: once both ``seed`` and
+``current`` are present, :func:`update_bench_file` computes per-point
+speedups (seed wall-clock / current wall-clock) and the acceptance verdict
+used by the project roadmap — the 10k-process idle-heavy point must be at
+least :data:`ACCEPTANCE_THRESHOLD` times faster than the seed kernel.
+"""
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.perf.workloads import WORKLOADS
+
+#: Process counts swept in full mode.
+FULL_PROCESS_COUNTS = (10, 100, 1_000, 10_000)
+
+#: Process counts swept in ``--quick`` (smoke) mode.
+QUICK_PROCESS_COUNTS = (10, 100)
+
+#: Required speedup of ``current`` over ``seed`` on the largest idle-heavy point.
+ACCEPTANCE_THRESHOLD = 5.0
+
+#: The (workload, process-count) point the acceptance criterion is read from.
+ACCEPTANCE_POINT = ("idle_heavy", 10_000)
+
+#: Default output location: the repository root.
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[2] / "BENCH_kernel.json"
+
+SCHEMA = "bench-kernel/1"
+
+
+def time_point(workload, n_processes, quick=False, repeats=1):
+    """Time one (workload, process count) point; returns a result dict.
+
+    The simulator is built outside the timed region (setup cost is not
+    scheduling cost) and run to the workload's fixed edge horizon.  With
+    *repeats* > 1 the minimum wall-clock time is kept — the standard
+    guard against scheduler noise on a shared machine.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = None
+    statistics = None
+    duration = workload.duration(quick=quick)
+    for _ in range(repeats):
+        sim = workload.build(n_processes)
+        start = time.perf_counter()
+        sim.run(until=duration)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            statistics = dict(sim.statistics)
+    return {
+        "workload": workload.name,
+        "n_processes": n_processes,
+        "sim_ns": duration,
+        "wall_s": best,
+        "statistics": statistics,
+    }
+
+
+def run_suite(quick=False, process_counts=None, repeats=1, workloads=None,
+              progress=None):
+    """Run every workload over the process-count sweep; returns a run dict.
+
+    *progress*, when given, is called with a one-line string after each
+    point — the command-line entry uses it to print as results arrive.
+    """
+    counts = tuple(process_counts
+                   if process_counts is not None
+                   else (QUICK_PROCESS_COUNTS if quick else FULL_PROCESS_COUNTS))
+    results = []
+    for workload in (workloads or WORKLOADS):
+        for n_processes in counts:
+            point = time_point(workload, n_processes, quick=quick,
+                               repeats=repeats)
+            results.append(point)
+            if progress is not None:
+                progress(
+                    f"{workload.name:<13} n={n_processes:<6} "
+                    f"wall={point['wall_s']:.4f}s "
+                    f"runs={point['statistics']['process_runs']}"
+                )
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "quick": bool(quick),
+        "repeats": repeats,
+        "process_counts": list(counts),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": results,
+    }
+
+
+def _index_results(run):
+    """Map ``(workload, n_processes) -> wall_s`` for one labelled run."""
+    return {
+        (point["workload"], point["n_processes"]): point["wall_s"]
+        for point in run.get("results", ())
+    }
+
+
+def compute_speedups(seed_run, current_run):
+    """Per-point ``seed / current`` wall-clock ratios plus the verdict.
+
+    Only points present in *both* runs are compared (a quick seed run and a
+    full current run share only their small points).  Returns
+    ``(speedup, acceptance)`` where *speedup* maps workload name to
+    ``{str(n): ratio}`` and *acceptance* reports the roadmap criterion.
+    """
+    seed_index = _index_results(seed_run)
+    current_index = _index_results(current_run)
+    speedup = {}
+    for key in sorted(seed_index.keys() & current_index.keys()):
+        workload, n_processes = key
+        current_wall = current_index[key]
+        ratio = (seed_index[key] / current_wall) if current_wall > 0 else float("inf")
+        speedup.setdefault(workload, {})[str(n_processes)] = round(ratio, 2)
+    target = speedup.get(ACCEPTANCE_POINT[0], {}).get(str(ACCEPTANCE_POINT[1]))
+    acceptance = {
+        "point": {"workload": ACCEPTANCE_POINT[0],
+                  "n_processes": ACCEPTANCE_POINT[1]},
+        "threshold": ACCEPTANCE_THRESHOLD,
+        "speedup": target,
+        "pass": (target is not None and target >= ACCEPTANCE_THRESHOLD),
+    }
+    return speedup, acceptance
+
+
+def update_bench_file(path, label, run):
+    """Merge one labelled *run* into the JSON file at *path*; returns the doc.
+
+    Existing labels are preserved (re-running a label overwrites only that
+    label).  Speedups and the acceptance verdict are recomputed whenever
+    both ``seed`` and ``current`` are present.
+    """
+    path = Path(path)
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {"schema": SCHEMA, "runs": {}}
+    document.setdefault("schema", SCHEMA)
+    document.setdefault("runs", {})[label] = run
+    runs = document["runs"]
+    if "seed" in runs and "current" in runs:
+        speedup, acceptance = compute_speedups(runs["seed"], runs["current"])
+        document["speedup"] = speedup
+        document["acceptance"] = acceptance
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return document

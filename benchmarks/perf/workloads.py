@@ -1,0 +1,127 @@
+"""Benchmark workloads: simulations with known population/activity ratios.
+
+Each :class:`Workload` builds a fresh :class:`repro.desim.Simulator` for a
+requested process count and knows how long (in simulated nanoseconds) it
+should run to execute a fixed number of clock edges.  Fixing the *edge*
+count rather than the duration keeps the amount of useful work identical
+across kernel versions, so wall-clock ratios measure scheduler overhead
+only.
+"""
+
+from repro.desim import SignalChange, Simulator
+
+#: Clock period shared by all workloads (ns).
+CLOCK_PERIOD = 10
+
+#: Timeout given to idle waiters: far beyond any benchmark horizon (1 s),
+#: so it never matures but still occupies the kernel's timed-wait tracking.
+IDLE_TIMEOUT = 1_000_000_000
+
+
+class Workload:
+    """One benchmark scenario.
+
+    Parameters
+    ----------
+    name:
+        Key used in results and on the command line.
+    description:
+        One-line human description stored in the output JSON.
+    builder:
+        Callable ``builder(n_processes) -> Simulator`` producing a fresh,
+        un-started simulator.
+    edges:
+        Number of rising clock edges one full-mode run executes.
+    quick_edges:
+        Edge count used in ``--quick`` (smoke) mode.
+    """
+
+    def __init__(self, name, description, builder, edges, quick_edges):
+        self.name = name
+        self.description = description
+        self.builder = builder
+        self.edges = edges
+        self.quick_edges = quick_edges
+
+    def build(self, n_processes):
+        """Return a fresh simulator populated with *n_processes* workers."""
+        return self.builder(n_processes)
+
+    def duration(self, quick=False):
+        """Simulated time (ns) covering the configured number of edges."""
+        edges = self.quick_edges if quick else self.edges
+        return edges * CLOCK_PERIOD
+
+    def __repr__(self):
+        return f"Workload({self.name}, edges={self.edges})"
+
+
+def build_idle_heavy(n_processes):
+    """One active counter process + *n_processes* permanently idle waiters.
+
+    Every idle process blocks on ``wait on <private signal> for 1 s``: the
+    signal never changes and the timeout never matures inside the benchmark
+    horizon, so the only runnable work per time point is the clock toggler
+    and the counter.  Kernel cost should therefore be flat in *n_processes*.
+    """
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=CLOCK_PERIOD)
+    ticks = {"count": 0}
+
+    def counter():
+        if clk.value == 1:
+            ticks["count"] += 1
+
+    sim.add_process("counter", counter, sensitivity=[clk], initial_run=False)
+
+    for index in range(n_processes):
+        idle_sig = sim.add_signal(f"idle_sig_{index}")
+
+        def idle_waiter(idle_sig=idle_sig):
+            while True:
+                yield SignalChange(idle_sig, timeout=IDLE_TIMEOUT)
+
+        sim.add_process(f"idle_{index}", idle_waiter)
+    return sim
+
+
+def build_active_heavy(n_processes):
+    """*n_processes* sensitivity-list processes all firing on every edge.
+
+    Every registered process is runnable on every clock change, so total
+    work is inherently linear in *n_processes* for any kernel.  The
+    workload exists to verify the idle-path optimisations add no per-run
+    overhead when the population really is fully active.
+    """
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=CLOCK_PERIOD)
+    counts = [0] * max(n_processes, 1)
+
+    for index in range(n_processes):
+
+        def worker(index=index):
+            if clk.value == 1:
+                counts[index] += 1
+
+        sim.add_process(f"worker_{index}", worker, sensitivity=[clk],
+                        initial_run=False)
+    return sim
+
+
+#: Registry of all workloads, in reporting order.
+WORKLOADS = [
+    Workload(
+        "idle_heavy",
+        "1 active counter + N idle signal-waiters with far-future timeouts",
+        build_idle_heavy,
+        edges=200,
+        quick_edges=20,
+    ),
+    Workload(
+        "active_heavy",
+        "N sensitivity processes all firing on every clock edge",
+        build_active_heavy,
+        edges=50,
+        quick_edges=5,
+    ),
+]

@@ -32,16 +32,13 @@ class HardwareAdapter:
         self._register()
 
     def _register(self):
-        process_name = f"{self.module.name}_clked"
+        def on_posedge():
+            self.cycles += 1
+            for instance in self.instances.values():
+                instance.step()
 
-        def on_clock():
-            if self.clock.value == 1:
-                self.cycles += 1
-                for instance in self.instances.values():
-                    instance.step()
-
-        self.simulator.add_process(process_name, on_clock, sensitivity=[self.clock],
-                                   initial_run=False)
+        self.simulator.add_clocked_process(f"{self.module.name}_clked",
+                                           on_posedge, self.clock)
 
     def process_state(self, process_name):
         """Current FSM state of one named process of the module."""

@@ -162,14 +162,9 @@ class CosimSession:
                                               writer=f"{unit.name}.{controller.name}")
                 instance = FsmInstance(controller.fsm, ports=accessor)
                 self.controller_instances[f"{unit.name}.{controller.name}"] = instance
-
-                def on_clock(instance=instance):
-                    if self.clock.value == 1:
-                        instance.step()
-
-                self.simulator.add_process(
-                    f"{unit.name}_{controller.name}_clked", on_clock,
-                    sensitivity=[self.clock], initial_run=False,
+                self.simulator.add_clocked_process(
+                    f"{unit.name}_{controller.name}_clked", instance.step,
+                    self.clock,
                 )
 
     def _registry_for(self, module, software):
@@ -211,8 +206,11 @@ class CosimSession:
             period = module.activation_period or self.sw_activation_period
 
             def activations(executor=executor, period=period):
+                # One Timeout reused across iterations: wait conditions are
+                # immutable and the kernel copies what it needs on suspend.
+                tick = Timeout(period)
                 while True:
-                    yield Timeout(period)
+                    yield tick
                     if executor.finished:
                         return
                     executor.activate()

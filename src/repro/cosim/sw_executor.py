@@ -7,6 +7,11 @@ transition).  Service calls inside the FSM are dispatched to the module's
 :class:`~repro.cosim.services.ServiceRegistry`, whose instances execute the
 service FSMs through the C-language-interface accessor — i.e. the SW
 simulation view.
+
+The backplane drives activations from a generator process yielding a
+reused :class:`~repro.desim.events.Timeout` (see
+:meth:`repro.cosim.session.CosimSession._build_software`); between
+activations the executor costs the kernel nothing.
 """
 
 from repro.cosim.sync import OneTransitionPerActivation

@@ -6,6 +6,10 @@ race ahead of the hardware state it just sampled.  The alternative policy
 (:class:`RunToIdle`) executes transitions until the FSM stops making
 progress within one activation; it is faster in activations but loses the
 cycle-accurate interleaving, which the ablation benchmark quantifies.
+
+Either way, each activation happens inside one kernel process run — the
+policy trades simulated-time fidelity against activations, never against
+kernel scheduling cost.
 """
 
 from repro.utils.errors import SimulationError

@@ -10,7 +10,10 @@ used by the paper.  It provides:
 * :class:`~repro.desim.process.Process` — VHDL-style processes, either with a
   sensitivity list or as Python generators yielding wait conditions,
 * :class:`~repro.desim.kernel.Simulator` — the two-phase (signal update /
-  process execution) delta-cycle scheduler,
+  process execution) delta-cycle scheduler.  Scheduling cost per delta
+  cycle is proportional to activity (signals that changed, waits that
+  matured), not to the number of registered processes — see
+  ``docs/kernel.md`` for the data structures and their invariants,
 * :class:`~repro.desim.waveform.WaveformRecorder` — value-change tracing with
   a VCD-style dump,
 * :class:`~repro.desim.monitor.Monitor` — invariant checks evaluated after

@@ -8,6 +8,12 @@ like VHDL ``wait`` statements:
 * ``SignalChange(sigs)``   — ``wait on sigs``
 * ``SignalChange(sigs, timeout=d)`` — ``wait on sigs for d``
 * ``Delta()``              — ``wait for 0 ns`` (resume next delta cycle)
+
+Wait conditions are immutable descriptions: the kernel copies what it needs
+when it suspends the process, so one instance may be yielded repeatedly
+(e.g. a clock process reusing a single ``Timeout``).  For a bounded signal
+wait, whichever of the event and the deadline fires first consumes the
+whole wait — the process is never woken a second time by the loser.
 """
 
 from repro.desim.simtime import check_delay

@@ -11,6 +11,32 @@ The kernel follows the VHDL simulation cycle:
 
 The cycle repeats until no delta activity remains, then time advances to the
 next scheduled transaction or process timeout.
+
+Scheduling data structures
+--------------------------
+
+Per-delta work is proportional to *activity* (signals that changed, waits
+that matured), never to *population* (total processes registered).  Four
+structures make that true:
+
+* ``_future`` — min-heap of ``(time, seq, signal, value)`` transactions.
+* ``_timeout_heap`` — min-heap of ``(resume_at, seq, wait)`` for every
+  suspended generator with a deadline (``wait for``, ``wait on ... for``).
+  Entries are *lazily invalidated*: a wait cancelled by a signal wakeup
+  stays in the heap, flagged ``done``, and is discarded when it surfaces.
+* ``_waiters`` — per-signal lists of suspended waits (``wait on``), so a
+  signal event wakes exactly its own waiters instead of scanning every
+  suspended process.  Entries are lazily invalidated the same way.
+* ``_next_time_cache`` — memoised result of :meth:`_next_activity_time`,
+  recomputed only after a mutation of the heaps (``_next_time_dirty``).
+
+The invariant tying them together: a suspended process has exactly one
+live (``done == False``) wait; waking it — by signal or by deadline,
+whichever fires first — sets ``done``, which implicitly cancels every other
+index entry that still references it.  Waiter lists additionally count
+their stale entries and compact once half the list is dead, so repeated
+bounded waits on a quiet signal cannot accumulate unbounded garbage.  See
+``docs/kernel.md`` for the full decision rules.
 """
 
 import heapq
@@ -24,14 +50,23 @@ from repro.utils.errors import SimulationError
 
 
 class _GenWait:
-    """Book-keeping for a suspended generator process."""
+    """Book-keeping for one suspended generator process.
 
-    __slots__ = ("process", "signals", "resume_at")
+    A wait may be registered in several indexes at once: the per-signal
+    waiter lists (one per signal in *signals*) and the timeout heap (when
+    *resume_at* is set).  Whichever index wakes the process first marks the
+    wait ``done``; stale references left in the other indexes are skipped
+    and dropped when next encountered (*lazy invalidation*), so cancelling
+    a wait never requires searching a heap or a list.
+    """
+
+    __slots__ = ("process", "signals", "resume_at", "done")
 
     def __init__(self, process, signals=(), resume_at=None):
         self.process = process
         self.signals = tuple(signals)
         self.resume_at = resume_at
+        self.done = False
 
 
 class Simulator:
@@ -44,6 +79,12 @@ class Simulator:
         data = sim.add_signal("data", init=0)
         sim.add_process("producer", produce, sensitivity=[clk])
         sim.run(until=10_000)
+
+    The public surface is ``add_signal`` / ``add_process`` / ``add_clock`` /
+    ``schedule`` / ``run`` plus the testbench helpers (``peek``, ``poke``,
+    ``signal``).  Scheduling cost per delta cycle is proportional to the
+    number of signals that changed and waits that matured, independent of
+    how many processes are registered or suspended.
     """
 
     def __init__(self, max_deltas=10_000):
@@ -59,8 +100,18 @@ class Simulator:
         self._future = []
         # Transactions for the next delta of the current time: [(signal, value)].
         self._delta_queue = []
+        # Signal name -> set of sensitivity-list process names.
         self._sensitivity = {}
-        self._gen_waits = {}
+        # Deadline index: heap of (resume_at, seq, _GenWait), lazily pruned.
+        self._timeout_heap = []
+        # Waiter index: id(signal) -> [_GenWait], lazily pruned.
+        self._waiters = {}
+        # id(signal) -> count of done entries still in its waiter list;
+        # drives compaction once half a list is dead.
+        self._waiter_stale = {}
+        # Memoised _next_activity_time; recomputed when a heap mutates.
+        self._next_time_cache = None
+        self._next_time_dirty = True
         self._started = False
         self.statistics = {
             "delta_cycles": 0,
@@ -96,6 +147,22 @@ class Simulator:
             self._sensitivity.setdefault(signal.name, set()).add(process.name)
         return process
 
+    def add_clocked_process(self, name, func, clock, edge=1):
+        """Register *func* to run after each transition of *clock* to *edge*.
+
+        Sugar over :meth:`add_process` for the dominant co-simulation shape
+        (an FSM stepped once per rising clock edge): the process is made
+        sensitive to *clock* and the edge filter is applied before *func*
+        is entered.  Returns the created :class:`Process`.
+        """
+
+        def on_edge():
+            if clock.value == edge:
+                func()
+
+        return self.add_process(name, on_edge, sensitivity=[clock],
+                                initial_run=False)
+
     def add_clock(self, name, period, start_value=0, start_delay=0):
         """Create a free-running clock signal toggling every ``period/2`` ns."""
         check_delay(period)
@@ -107,9 +174,10 @@ class Simulator:
         def toggler():
             if start_delay:
                 yield Timeout(start_delay)
+            tick = Timeout(half)
             while True:
                 self.schedule(clock, 1 - clock.value, 0)
-                yield Timeout(half)
+                yield tick
 
         self.add_process(f"{name}_gen", toggler)
         return clock
@@ -140,6 +208,7 @@ class Simulator:
             heapq.heappush(
                 self._future, (self.now + delay, next(self._seq), signal, value)
             )
+            self._next_time_dirty = True
 
     # -------------------------------------------------------------------- run
 
@@ -188,42 +257,106 @@ class Simulator:
     # ---------------------------------------------------------------- phases
 
     def _next_activity_time(self):
-        candidates = []
-        if self._future:
-            candidates.append(self._future[0][0])
-        for wait in self._gen_waits.values():
-            if wait.resume_at is not None:
-                candidates.append(wait.resume_at)
-        if not candidates:
+        """Earliest time with pending work, or ``None`` when fully idle.
+
+        Pending zero-delay transactions and past-due waits (a deadline at
+        or before ``now``, reachable when activity is injected between two
+        :meth:`run` calls) report ``self.now``: they are due immediately
+        and must not be mistaken for "no activity", which would stall
+        :meth:`run`.  The result is memoised until a heap mutates.
+        """
+        if self._delta_queue:
+            return self.now
+        if self._next_time_dirty:
+            candidates = []
+            if self._future:
+                candidates.append(self._future[0][0])
+            deadline = self._peek_deadline()
+            if deadline is not None:
+                candidates.append(deadline)
+            self._next_time_cache = min(candidates) if candidates else None
+            self._next_time_dirty = False
+        earliest = self._next_time_cache
+        if earliest is None:
             return None
-        earliest = min(candidates)
-        if earliest <= self.now:
-            # Activity scheduled "now" is handled by the delta loop already;
-            # guard against time standing still.
-            return self.now if earliest == self.now else None
-        return earliest
+        return self.now if earliest <= self.now else earliest
+
+    def _peek_deadline(self):
+        """Earliest live deadline, discarding cancelled waits from the heap top."""
+        heap = self._timeout_heap
+        while heap:
+            resume_at, _, wait = heap[0]
+            if wait.done:
+                heapq.heappop(heap)
+                continue
+            return resume_at
+        return None
 
     def _begin_time_point(self):
-        """Move matured future transactions into the delta queue and wake timeouts."""
+        """Move matured future transactions into the delta queue."""
+        moved = False
         while self._future and self._future[0][0] <= self.now:
             _, _, signal, value = heapq.heappop(self._future)
             self._delta_queue.append((signal, value))
+            moved = True
+        if moved:
+            self._next_time_dirty = True
 
     def _expired_waits(self):
+        """Pop and wake every wait whose deadline has matured.
+
+        Cancelled (``done``) entries surfacing at the heap top are
+        discarded — this is where lazy invalidation pays its debt, once
+        per cancelled wait over the whole simulation.
+        """
         expired = []
-        for name, wait in list(self._gen_waits.items()):
-            if wait.resume_at is not None and wait.resume_at <= self.now:
-                expired.append(self._gen_waits.pop(name).process)
+        heap = self._timeout_heap
+        while heap:
+            resume_at, _, wait = heap[0]
+            if wait.done:
+                heapq.heappop(heap)
+                continue
+            if resume_at > self.now:
+                break
+            heapq.heappop(heap)
+            self._wake(wait)
+            expired.append(wait.process)
+        if expired:
+            self._next_time_dirty = True
         return expired
+
+    def _wake(self, wait):
+        """Consume *wait*: it no longer wakes its process through any index.
+
+        Stale timeout-heap entries are discarded when they surface at the
+        top; waiter lists have no such guaranteed drain (the watched signal
+        may never change again), so each list tracks its dead-entry count
+        and is compacted in place once at least half of it is stale —
+        amortised O(1) per wake, and bounded garbage per signal.
+        """
+        wait.done = True
+        for signal in wait.signals:
+            key = id(signal)
+            waiters = self._waiters.get(key)
+            if waiters is None:
+                continue
+            stale = self._waiter_stale.get(key, 0) + 1
+            if 2 * stale >= len(waiters):
+                live = [entry for entry in waiters if not entry.done]
+                if live:
+                    self._waiters[key] = live
+                else:
+                    del self._waiters[key]
+                self._waiter_stale.pop(key, None)
+            else:
+                self._waiter_stale[key] = stale
 
     def _drain_deltas(self):
         self.delta = 0
         while True:
             changed = self._update_phase()
             runnable = self._collect_runnable(changed)
-            for process in self._expired_waits():
-                if process not in runnable:
-                    runnable.append(process)
+            runnable.extend(self._expired_waits())
             if not changed and not runnable and not self._delta_queue:
                 break
             self._run_processes(runnable)
@@ -239,17 +372,23 @@ class Simulator:
                 )
 
     def _update_phase(self):
-        staged = []
+        """Apply queued transactions; returns the signals whose value changed.
+
+        Staging is batched: each signal's ``_staged`` flag marks it as
+        already collected this delta, replacing the ``id()``-set dedup pass
+        (last write still wins, because later stages overwrite the pending
+        value while the signal is appended only once).
+        """
         queue, self._delta_queue = self._delta_queue, []
+        staged = []
         for signal, value in queue:
+            if not signal._staged:
+                signal._staged = True
+                staged.append(signal)
             signal.stage(value)
-            staged.append(signal)
         changed = []
-        seen = set()
         for signal in staged:
-            if id(signal) in seen:
-                continue
-            seen.add(id(signal))
+            signal._staged = False
             if signal.apply_pending(self.now):
                 changed.append(signal)
                 if signal.name in self.signals:
@@ -258,20 +397,30 @@ class Simulator:
         return changed
 
     def _collect_runnable(self, changed):
+        """Processes triggered by the *changed* signals of this delta.
+
+        Sensitivity-list processes come from the per-signal ``_sensitivity``
+        index; suspended generators come from the per-signal ``_waiters``
+        lists, which are popped wholesale (their live entries wake, their
+        stale entries drop).  Nothing here iterates over the full process
+        population.
+        """
         runnable = []
         picked = set()
         for signal in changed:
-            for proc_name in self._sensitivity.get(signal.name, ()):  # sensitivity
+            for proc_name in self._sensitivity.get(signal.name, ()):
                 if proc_name not in picked:
                     picked.add(proc_name)
                     runnable.append(self.processes[proc_name])
-            for name, wait in list(self._gen_waits.items()):
-                if name in picked:
-                    continue
-                if any(sig is signal for sig in wait.signals):
-                    picked.add(name)
+            waiters = self._waiters.pop(id(signal), None)
+            if waiters:
+                self._waiter_stale.pop(id(signal), None)
+                for wait in waiters:
+                    if wait.done:
+                        continue
+                    self._wake(wait)
                     runnable.append(wait.process)
-                    del self._gen_waits[name]
+                self._next_time_dirty = True
         return runnable
 
     def _run_processes(self, runnable):
@@ -285,27 +434,33 @@ class Simulator:
             self._suspend(process, condition)
 
     def _suspend(self, process, condition):
+        """Park a generator process until *condition* is met.
+
+        The wait is indexed under every signal it watches and, when it has
+        a deadline, on the timeout heap; a ``Delta`` wait is a deadline at
+        the current time, which the delta loop picks up on its next
+        iteration within the same time point.
+        """
         if condition is None:
             return
         if isinstance(condition, Timeout):
-            self._gen_waits[process.name] = _GenWait(
-                process, resume_at=self.now + condition.delay
-            )
+            wait = _GenWait(process, resume_at=self.now + condition.delay)
         elif isinstance(condition, Delta):
-            # Resume at the next delta: emulate by scheduling a wait that
-            # expires immediately; the delta loop picks it up because the
-            # queue check includes waits due "now".
-            self._gen_waits[process.name] = _GenWait(process, resume_at=self.now)
-            self._delta_queue.append((_NullSignal.instance(), 0))
+            wait = _GenWait(process, resume_at=self.now)
         elif isinstance(condition, SignalChange):
             resume_at = None
             if condition.timeout is not None:
                 resume_at = self.now + condition.timeout
-            self._gen_waits[process.name] = _GenWait(
-                process, signals=condition.signals, resume_at=resume_at
-            )
+            wait = _GenWait(process, signals=condition.signals, resume_at=resume_at)
         else:  # pragma: no cover - Process.step already validates
             raise SimulationError(f"unknown wait condition {condition!r}")
+        for signal in wait.signals:
+            self._waiters.setdefault(id(signal), []).append(wait)
+        if wait.resume_at is not None:
+            heapq.heappush(
+                self._timeout_heap, (wait.resume_at, next(self._seq), wait)
+            )
+            self._next_time_dirty = True
 
     def _check_monitors(self):
         for monitor in self.monitors:
@@ -333,24 +488,3 @@ class Simulator:
             f"Simulator(now={format_time(self.now)}, signals={len(self.signals)}, "
             f"processes={len(self.processes)})"
         )
-
-
-class _NullSignal(Signal):
-    """Internal signal used to force an extra delta cycle for ``Delta`` waits."""
-
-    _instance = None
-
-    def __init__(self):
-        super().__init__("nulldelta", init=0)
-        self._toggle = 0
-
-    def stage(self, value):
-        # Always produce an event so the delta loop runs once more.
-        self._toggle = 1 - self._toggle
-        super().stage(self._toggle)
-
-    @classmethod
-    def instance(cls):
-        if cls._instance is None:
-            cls._instance = cls()
-        return cls._instance

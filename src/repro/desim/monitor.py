@@ -4,6 +4,10 @@ Monitors replace the assertion statements of the VHDL testbench: the
 co-simulation session uses them to check protocol invariants (e.g. "DATAIN is
 stable while B_FULL is asserted") and the real-time constraints of the motor
 controller.
+
+Every attached monitor is evaluated once per delta cycle, so its predicate
+runs on the kernel's hot path: keep predicates O(1) reads of signal values,
+not scans over simulator state.
 """
 
 

@@ -10,6 +10,11 @@ Two flavours are supported, both present in VHDL practice:
   :class:`~repro.desim.events.WaitCondition` objects, mirroring VHDL
   processes with explicit ``wait`` statements.  This is the natural shape for
   testbench stimulus and the motor's physical model.
+
+A suspended generator costs the kernel nothing until the yielded condition
+fires: it sits in the per-signal waiter index and/or the timeout heap, and
+is only touched when one of its signals has an event or its deadline
+matures.
 """
 
 import inspect

@@ -6,6 +6,11 @@ process-facing helpers).  The kernel applies pending transactions during the
 signal-update phase of each delta cycle; a signal whose value actually
 changes has its ``event`` flag set for the following process-execution phase,
 matching the VHDL ``'event`` attribute.
+
+Signals do not know who waits on them: the kernel keeps a per-signal waiter
+index so an event wakes exactly the processes blocked on that signal.  The
+only kernel-owned state stored here is the ``_staged`` mark used to batch
+the update phase without a dedup set.
 """
 
 from repro.utils.errors import SimulationError
@@ -37,6 +42,9 @@ class Signal:
         self.change_count = 0
         # Pending transaction for the *next* update phase: (value,) or None.
         self._pending = None
+        # Kernel-owned dedup mark: True while this signal sits in the update
+        # phase's staged list for the current delta (cleared when applied).
+        self._staged = False
         # Future transactions are kept by the kernel, not the signal.
 
     @property
@@ -78,6 +86,7 @@ class Signal:
         """Restore the initial value (used when a simulator is re-run)."""
         self._value = self._init
         self._pending = None
+        self._staged = False
         self.last_changed = 0
         self.event = False
         self.change_count = 0

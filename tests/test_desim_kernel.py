@@ -311,6 +311,177 @@ class TestMonitors:
         assert not monitor.ok
 
 
+class TestRunStallRegressions:
+    def test_pending_zero_delay_transaction_resumes_run(self):
+        # Regression: a zero-delay transaction injected between two run()
+        # calls was invisible to _next_activity_time (which only consulted
+        # the future heap and the timed waits), so run() returned without
+        # waking processes blocked on the signal.
+        sim = Simulator()
+        sig = sim.add_signal("s", init=0)
+        seen = []
+
+        def waiter():
+            yield SignalChange(sig)
+            seen.append((sim.now, sig.value))
+
+        sim.add_process("w", waiter)
+        sim.run(until=50)
+        assert seen == []
+        sim.poke("s", 1, 0)  # due exactly at self.now
+        sim.run()
+        assert seen == [(0, 1)]
+        assert sig.value == 1
+
+    def test_past_due_wait_is_not_treated_as_idle(self):
+        # Regression: a deadline at or before self.now made
+        # _next_activity_time return None ("idle") instead of self.now
+        # ("due immediately"), stalling run().  Past-due deadlines arise
+        # when a co-simulation driver moves time between run() calls.
+        sim = Simulator()
+        sig = sim.add_signal("s", init=0)
+        woke = []
+
+        def watcher():
+            yield SignalChange(sig, timeout=10)
+            woke.append(sim.now)
+
+        sim.add_process("w", watcher)
+        sim.run(until=4)
+        sim.now = 12  # external driver advanced time past the deadline
+        assert sim._next_activity_time() == 12
+        sim.run()
+        assert woke == [12]
+
+
+class TestSchedulingScalability:
+    @staticmethod
+    def _run_with_idle_population(idle_count, until=1_000):
+        sim = Simulator()
+        clk = sim.add_clock("clk", period=10)
+        ticks = []
+
+        def counter():
+            if clk.value == 1:
+                ticks.append(sim.now)
+
+        sim.add_process("counter", counter, sensitivity=[clk], initial_run=False)
+        for index in range(idle_count):
+            idle_sig = sim.add_signal(f"idle{index}")
+
+            def idle_waiter(idle_sig=idle_sig):
+                while True:
+                    yield SignalChange(idle_sig, timeout=1_000_000_000)
+
+            sim.add_process(f"idle{index}", idle_waiter)
+        sim.run(until=until)
+        return sim.statistics
+
+    def test_process_runs_flat_as_idle_population_grows(self):
+        # Per-delta work must scale with activity, not population: growing
+        # the idle-waiter count 10x may only add the one-off initial run of
+        # each new process, never recurring wakeups.
+        small = self._run_with_idle_population(10)
+        large = self._run_with_idle_population(100)
+        assert large["process_runs"] - small["process_runs"] == 90
+        assert large["delta_cycles"] == small["delta_cycles"]
+        assert large["time_points"] == small["time_points"]
+
+
+class TestWaitWakeCancel:
+    def test_signal_wake_consumes_the_timeout(self):
+        sim = Simulator()
+        sig = sim.add_signal("s", init=0)
+        wakes = []
+
+        def watcher():
+            yield SignalChange(sig, timeout=100)
+            wakes.append(("event", sim.now, sig.event))
+            yield Timeout(500)
+            wakes.append(("later", sim.now))
+
+        sim.add_process("w", watcher)
+
+        def stim():
+            yield Timeout(10)
+            sim.schedule(sig, 1)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        # The event fired first (t=10); the abandoned deadline at t=100 must
+        # not wake the process again — its next wake is the explicit
+        # Timeout(500) at t=510.
+        assert wakes == [("event", 10, True), ("later", 510)]
+        assert sim.processes["w"].run_count == 3
+
+    def test_timeout_consumes_the_signal_wait(self):
+        sim = Simulator()
+        sig = sim.add_signal("s", init=0)
+        wakes = []
+
+        def watcher():
+            yield SignalChange(sig, timeout=40)
+            wakes.append(("timeout", sim.now, sig.event))
+            yield SignalChange(sig)
+            wakes.append(("event", sim.now, sig.value))
+
+        sim.add_process("w", watcher)
+
+        def stim():
+            yield Timeout(100)
+            sim.schedule(sig, 7)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        # The deadline fired first (t=40, no event); the stale waiter-index
+        # entry from that first wait must not double-wake the process when
+        # the signal finally changes at t=100.
+        assert wakes == [("timeout", 40, False), ("event", 100, 7)]
+        assert sim.processes["w"].run_count == 3
+
+    def test_repeated_timed_out_waits_do_not_leak_waiter_entries(self):
+        # Watchdog pattern: a bounded wait on a signal that never changes,
+        # re-issued after every timeout.  Each timeout wake leaves a stale
+        # entry in the signal's waiter list; compaction must keep the list
+        # O(1) instead of growing with simulated time.
+        sim = Simulator()
+        sig = sim.add_signal("quiet", init=0)
+        wakes = []
+
+        def watchdog():
+            while True:
+                yield SignalChange(sig, timeout=10)
+                wakes.append(sim.now)
+
+        sim.add_process("watchdog", watchdog)
+        sim.run(until=10_000)
+        assert len(wakes) == 1_000
+        assert len(sim._waiters.get(id(sig), ())) <= 2
+
+    def test_multi_signal_wait_wakes_exactly_once(self):
+        sim = Simulator()
+        a = sim.add_signal("a", init=0)
+        b = sim.add_signal("b", init=0)
+        wakes = []
+
+        def watcher():
+            yield SignalChange(a, b)
+            wakes.append(sim.now)
+
+        sim.add_process("w", watcher)
+
+        def stim():
+            yield Timeout(10)
+            sim.schedule(a, 1)
+            sim.schedule(b, 1)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        # Both watched signals changed in the same delta: one wake, not two.
+        assert wakes == [10]
+        assert sim.processes["w"].run_count == 2
+
+
 class TestFormatTime:
     @pytest.mark.parametrize("value, expected", [
         (0, "0 ns"),

@@ -1,0 +1,87 @@
+"""Smoke tests of the kernel perf harness (``python -m benchmarks.perf``).
+
+Running the harness's quick mode inside the test suite guarantees the
+benchmark code keeps working as the kernel evolves — a harness that only
+runs by hand silently rots.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.perf import (  # noqa: E402  (path setup above)
+    WORKLOADS,
+    compute_speedups,
+    run_suite,
+    update_bench_file,
+)
+
+
+def test_quick_suite_times_every_workload_point():
+    run = run_suite(quick=True, process_counts=(5, 10))
+    assert len(run["results"]) == len(WORKLOADS) * 2
+    for point in run["results"]:
+        assert point["wall_s"] >= 0
+        assert point["sim_ns"] > 0
+        assert point["statistics"]["process_runs"] > 0
+    assert run["quick"] is True
+    assert run["process_counts"] == [5, 10]
+
+
+def test_idle_heavy_workload_is_actually_idle():
+    # The workload contract the benchmark interprets: idle waiters run only
+    # once (initially), whatever their count.
+    run = run_suite(quick=True, process_counts=(5, 50))
+    by_n = {
+        (p["workload"], p["n_processes"]): p["statistics"] for p in run["results"]
+    }
+    small = by_n[("idle_heavy", 5)]
+    large = by_n[("idle_heavy", 50)]
+    assert large["process_runs"] - small["process_runs"] == 45
+
+
+def test_update_bench_file_merges_labels_and_computes_speedup(tmp_path):
+    path = tmp_path / "bench.json"
+    run = run_suite(quick=True, process_counts=(5,))
+    update_bench_file(path, "seed", run)
+    document = update_bench_file(path, "current", run)
+    assert set(document["runs"]) == {"seed", "current"}
+    assert "speedup" in document
+    acceptance = document["acceptance"]
+    # The quick sweep does not include the 10k acceptance point, so the
+    # verdict must be "not passed" rather than crashing or passing vacuously.
+    assert acceptance["speedup"] is None
+    assert acceptance["pass"] is False
+    for points in document["speedup"].values():
+        for ratio in points.values():
+            assert ratio > 0
+    reloaded = json.loads(path.read_text())
+    assert reloaded["schema"] == "bench-kernel/1"
+
+
+def test_invalid_repeats_rejected():
+    import pytest
+
+    from benchmarks.perf.harness import time_point
+    from benchmarks.perf.workloads import WORKLOADS as workloads
+
+    with pytest.raises(ValueError, match="repeats"):
+        time_point(workloads[0], 5, quick=True, repeats=0)
+
+
+def test_compute_speedups_only_compares_shared_points():
+    seed = {"results": [
+        {"workload": "idle_heavy", "n_processes": 10, "wall_s": 2.0},
+        {"workload": "idle_heavy", "n_processes": 10_000, "wall_s": 50.0},
+    ]}
+    current = {"results": [
+        {"workload": "idle_heavy", "n_processes": 10, "wall_s": 1.0},
+        {"workload": "idle_heavy", "n_processes": 100, "wall_s": 1.0},
+    ]}
+    speedup, acceptance = compute_speedups(seed, current)
+    assert speedup == {"idle_heavy": {"10": 2.0}}
+    assert acceptance["pass"] is False

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-seed quickstart
+.PHONY: test bench bench-quick bench-seed conformance conformance-quick quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,15 @@ bench-quick:
 # Record a baseline before touching the kernel.
 bench-seed:
 	$(PYTHON) -m benchmarks.perf --label seed
+
+# Differential conformance sweep: 270+ generated scenarios run on both the
+# production and reference kernels plus the cosim/cosyn oracles.
+conformance:
+	$(PYTHON) -m repro.testkit
+
+# < 30 s smoke tier of the same kit (also exercised by the test suite).
+conformance-quick:
+	$(PYTHON) -m repro.testkit --quick
 
 quickstart:
 	$(PYTHON) examples/quickstart.py

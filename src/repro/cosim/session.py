@@ -26,7 +26,7 @@ from repro.cosim.sync import OneTransitionPerActivation
 from repro.cosim.tracing import ServiceCallTrace
 from repro.core.module import HardwareModule, SoftwareModule
 from repro.core.validation import validate_model
-from repro.desim import Simulator, Timeout, WaveformRecorder
+from repro.desim import Timeout, WaveformRecorder, create_simulator
 from repro.ir.interp import FsmInstance
 from repro.utils.errors import SimulationError
 
@@ -82,7 +82,7 @@ class CosimSession:
 
     def __init__(self, model, library=None, clock_period=100,
                  sw_activation_period=None, activation_policy=None,
-                 validate=True, trace_signals=True):
+                 validate=True, trace_signals=True, kernel="production"):
         if validate:
             validate_model(model, library=library)
         self.model = model
@@ -91,8 +91,9 @@ class CosimSession:
         self.sw_activation_period = sw_activation_period or clock_period
         self.activation_policy = activation_policy or OneTransitionPerActivation()
         self.trace_signals = trace_signals
+        self.kernel = kernel
 
-        self.simulator = Simulator()
+        self.simulator = create_simulator(kernel)
         self.trace = ServiceCallTrace()
         self.waveform = None
         self.clock = None

@@ -25,8 +25,36 @@ from repro.desim.events import Timeout, SignalChange, Delta, WaitCondition
 from repro.desim.signal import Signal
 from repro.desim.process import Process
 from repro.desim.kernel import Simulator
+from repro.desim.reference import ReferenceSimulator
 from repro.desim.waveform import WaveformRecorder
 from repro.desim.monitor import Monitor
+from repro.utils.errors import SimulationError
+
+#: Selectable kernel implementations.  ``production`` is the optimised
+#: delta-cycle scheduler; ``reference`` is the naive oracle used by the
+#: conformance kit (:mod:`repro.testkit`).  Both honour the same API and
+#: must be observably indistinguishable.
+KERNELS = {
+    "production": Simulator,
+    "reference": ReferenceSimulator,
+}
+
+
+def create_simulator(kernel="production", **kwargs):
+    """Instantiate the simulator registered under *kernel*.
+
+    The hook exists so any flow built on :class:`Simulator` (co-simulation,
+    benchmarks, the conformance kit) can be re-run against the reference
+    kernel without code changes.
+    """
+    try:
+        factory = KERNELS[kernel]
+    except KeyError:
+        raise SimulationError(
+            f"unknown kernel {kernel!r}; available: {sorted(KERNELS)}"
+        ) from None
+    return factory(**kwargs)
+
 
 __all__ = [
     "NS",
@@ -41,6 +69,9 @@ __all__ = [
     "Signal",
     "Process",
     "Simulator",
+    "ReferenceSimulator",
+    "KERNELS",
+    "create_simulator",
     "WaveformRecorder",
     "Monitor",
 ]

@@ -100,7 +100,10 @@ class Simulator:
         self._future = []
         # Transactions for the next delta of the current time: [(signal, value)].
         self._delta_queue = []
-        # Signal name -> set of sensitivity-list process names.
+        # Signal name -> dict of sensitivity-list process names (dict, not
+        # set: iteration must follow registration order, so same-delta run
+        # order is identical in every interpreter process regardless of
+        # PYTHONHASHSEED — seeded co-simulations depend on it).
         self._sensitivity = {}
         # Deadline index: heap of (resume_at, seq, _GenWait), lazily pruned.
         self._timeout_heap = []
@@ -144,7 +147,7 @@ class Simulator:
         process = Process(name, func, sensitivity=sensitivity, initial_run=initial_run)
         self.processes[name] = process
         for signal in process.sensitivity:
-            self._sensitivity.setdefault(signal.name, set()).add(process.name)
+            self._sensitivity.setdefault(signal.name, {})[process.name] = None
         return process
 
     def add_clocked_process(self, name, func, clock, edge=1):

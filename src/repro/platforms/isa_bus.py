@@ -7,7 +7,6 @@ coherence benchmark can count bus cycles.
 """
 
 from repro.platforms.base import BusModel
-from repro.utils.errors import SynthesisError
 
 
 class IsaBus(BusModel):
@@ -25,13 +24,16 @@ class IsaBus(BusModel):
         return range(self.base_address, self.base_address + self.window)
 
     def assign_addresses(self, port_names, base=None):
-        """Assign one I/O address per port, starting at *base* (default 0x300)."""
+        """Assign one I/O address per port, starting at *base* (default 0x300).
+
+        Assignment never fails: ports beyond the window get consecutive
+        addresses past its end, so the co-synthesis flow can still produce
+        its full report and flag the overflow as a constraint problem
+        ("address map needs N locations, bus window offers W") instead of
+        crashing mid-synthesis.  :meth:`address_range` remains the legal
+        window.
+        """
         base = self.base_address if base is None else base
-        port_names = list(port_names)
-        if len(port_names) > self.window:
-            raise SynthesisError(
-                f"ISA window of {self.window} addresses cannot map {len(port_names)} ports"
-            )
         return {name: base + offset for offset, name in enumerate(port_names)}
 
     # ------------------------------------------------------- transaction log

@@ -1,0 +1,52 @@
+"""Randomized scenario generator + differential conformance kit.
+
+The ROADMAP asks the simulation stack to handle "as many scenarios as you
+can imagine"; this package *generates* them and keeps the optimised kernel
+honest while it evolves.  Three layers:
+
+* :mod:`repro.testkit.generator` — seeded random **kernel scenarios**:
+  layered process networks mixing sensitivity processes, clocked processes,
+  generator scripts, watchdogs and idle waiters, sized from tiny
+  (unit-test) to 1k+ processes (stress).
+* :mod:`repro.testkit.models` — seeded random **system models**: producer /
+  relay / consumer module networks with mixed hw/sw partitionings over
+  handshake, FIFO and shared-register channels, with computable expected
+  outcomes for the lossless channel kinds.
+* :mod:`repro.testkit.oracles` + :mod:`repro.testkit.runner` — the checks:
+  every kernel scenario runs on both the production kernel and the naive
+  :class:`~repro.desim.reference.ReferenceSimulator` and must produce
+  identical event ordering, waveforms, final states and statistics; system
+  models are pushed through :class:`~repro.cosim.session.CosimSession`
+  (both kernels, twice per kernel for seeded determinism) and
+  :class:`~repro.cosyn.flow.CosynthesisFlow` (address-map consistency,
+  constraint-report stability).
+
+Entry points: ``python -m repro.testkit`` (``make conformance``) for the
+batch tiers, ``tests/test_testkit_conformance.py`` for the pytest-wired
+``--quick`` subset.  Every scenario is reproducible from its printed name
+alone — see ``docs/testing.md``.
+"""
+
+from repro.testkit.generator import KernelScenario, SIZES
+from repro.testkit.models import GeneratedSystem, generate_system
+from repro.testkit.oracles import (
+    check_cosim_conformance,
+    check_cosyn_conformance,
+)
+from repro.testkit.runner import (
+    ConformanceReport,
+    check_kernel_scenario,
+    run_conformance,
+)
+
+__all__ = [
+    "KernelScenario",
+    "SIZES",
+    "GeneratedSystem",
+    "generate_system",
+    "check_cosim_conformance",
+    "check_cosyn_conformance",
+    "check_kernel_scenario",
+    "ConformanceReport",
+    "run_conformance",
+]

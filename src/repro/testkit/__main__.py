@@ -1,0 +1,98 @@
+"""Command-line entry of the conformance kit.
+
+Usage::
+
+    python -m repro.testkit                # full tier (200+ scenarios)
+    python -m repro.testkit --quick        # < 30 s smoke tier
+    python -m repro.testkit --seed-base 1000
+    python -m repro.testkit --replay kernel-medium-17
+    python -m repro.testkit --kernel-scenarios tiny=5 small=2 --cosim 3 --cosyn 1
+
+Exit status is non-zero when any scenario diverges or violates an oracle.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.testkit.runner import (
+    FULL_COSIM_MODELS,
+    FULL_COSYN_MODELS,
+    FULL_KERNEL_TIER,
+    QUICK_COSIM_MODELS,
+    QUICK_COSYN_MODELS,
+    QUICK_KERNEL_TIER,
+    replay,
+    run_conformance,
+)
+
+
+def _parse_kernel_tier(pairs):
+    tier = []
+    for pair in pairs:
+        size, _, count = pair.partition("=")
+        if not count:
+            raise SystemExit(f"--kernel-scenarios expects size=count, got {pair!r}")
+        tier.append((size, int(count)))
+    return tuple(tier)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testkit",
+        description="randomized differential conformance kit",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="run the < 30 s smoke tier")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="shift every generated seed (default 0)")
+    parser.add_argument("--kernel-scenarios", nargs="*", metavar="SIZE=COUNT",
+                        help="override the kernel-scenario tier")
+    parser.add_argument("--cosim", type=int, default=None,
+                        help="number of generated systems for the cosim oracle")
+    parser.add_argument("--cosyn", type=int, default=None,
+                        help="number of generated systems for the cosyn oracle")
+    parser.add_argument("--replay", metavar="NAME",
+                        help="re-run one scenario by name and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print one line per scenario")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        problems = replay(args.replay)
+        if problems:
+            print("\n".join(problems))
+            return 1
+        print(f"{args.replay}: ok")
+        return 0
+
+    if args.quick:
+        kernel_tier = QUICK_KERNEL_TIER
+        cosim_models = QUICK_COSIM_MODELS
+        cosyn_models = QUICK_COSYN_MODELS
+    else:
+        kernel_tier = FULL_KERNEL_TIER
+        cosim_models = FULL_COSIM_MODELS
+        cosyn_models = FULL_COSYN_MODELS
+    if args.kernel_scenarios is not None:
+        kernel_tier = _parse_kernel_tier(args.kernel_scenarios)
+    if args.cosim is not None:
+        cosim_models = args.cosim
+    if args.cosyn is not None:
+        cosyn_models = args.cosyn
+
+    progress = print if args.verbose else None
+    started = time.perf_counter()
+    report = run_conformance(kernel_tier=kernel_tier,
+                             cosim_models=cosim_models,
+                             cosyn_models=cosyn_models,
+                             seed_base=args.seed_base,
+                             progress=progress)
+    elapsed = time.perf_counter() - started
+    print(report.summary())
+    print(f"({elapsed:.1f} s wall clock)")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,397 @@
+"""Seeded random generation of kernel-level scenarios.
+
+A :class:`KernelScenario` is a reproducible recipe: given ``(size, seed)``
+it builds *the same* process network into any kernel honouring the
+:class:`~repro.desim.kernel.Simulator` API, so the differential runner can
+execute it once per kernel and compare every observable.
+
+Generated networks mix every scheduling shape the kernel supports:
+
+* free-running clocks (``add_clock``),
+* sensitivity-list processes and clocked processes (``add_clocked_process``),
+* generator processes running finite random scripts of ``Timeout`` /
+  ``SignalChange`` / ``Delta`` waits,
+* watchdogs re-issuing bounded waits on quiet signals (waiter-list churn),
+* permanently idle waiters with far-future deadlines (population scaling),
+* pokers injecting future transaction bursts, plus mid-run pokes between
+  segmented ``run()`` calls (the PR-1 stall regressions).
+
+**Boundedness.** Data signals are organised in layers; a process whose
+trigger signals reach up to layer *i* may schedule zero-delay writes only
+to layers strictly greater than *i* (time-triggered work may start at any
+layer).  Zero-delay chains are therefore bounded by the layer count and the
+generated networks can never hit the delta-cycle limit, while still
+exercising multi-delta cascades every time point.
+
+**Determinism.** All structure is drawn at build time from
+``random.Random(<string seed>)`` (string seeding is hash-randomization
+independent); runtime behaviour uses per-process streams seeded the same
+way, so two builds of one scenario behave identically — unless the kernels
+schedule them differently, which is exactly what the kit must detect.
+"""
+
+import random
+
+from repro.desim import Delta, SignalChange, Timeout, WaveformRecorder, create_simulator
+
+#: Size bands: (min processes, max processes, min horizon ns, max horizon ns).
+SIZES = {
+    "tiny": (4, 12, 1_200, 2_000),
+    "small": (25, 60, 1_000, 1_800),
+    "medium": (100, 220, 600, 1_000),
+    "stress": (900, 1_200, 250, 400),
+}
+
+#: Far-future deadline for permanently idle waiters (1 simulated second).
+IDLE_TIMEOUT = 1_000_000_000
+
+#: Process-kind weights per size band (active kinds thin out as the
+#: population grows, mirroring the idle-heavy workloads the kernel targets).
+_KIND_WEIGHTS = {
+    "tiny": (("sensitivity", 3), ("clocked", 2), ("script", 4),
+             ("watchdog", 2), ("poker", 2), ("idle", 1)),
+    "small": (("sensitivity", 3), ("clocked", 2), ("script", 4),
+              ("watchdog", 2), ("poker", 1), ("idle", 3)),
+    "medium": (("sensitivity", 2), ("clocked", 2), ("script", 3),
+               ("watchdog", 2), ("poker", 1), ("idle", 8)),
+    "stress": (("sensitivity", 1), ("clocked", 1), ("script", 1),
+               ("watchdog", 2), ("poker", 1), ("idle", 30)),
+}
+
+
+def _weighted_choice(rng, weights):
+    total = sum(weight for _, weight in weights)
+    pick = rng.randrange(total)
+    for kind, weight in weights:
+        if pick < weight:
+            return kind
+        pick -= weight
+    raise AssertionError("unreachable")
+
+
+class ScenarioInstance:
+    """One build of a scenario on one kernel: the simulator plus its probes."""
+
+    def __init__(self, scenario, simulator, log, recorder, segments):
+        self.scenario = scenario
+        self.simulator = simulator
+        #: Execution log appended to by every generated process:
+        #: ``(process name, time, delta, observed values)`` in run order.
+        self.log = log
+        self.recorder = recorder
+        #: ``[(until, [(signal name, value, delay), ...]), ...]`` — the
+        #: segmented run plan, identical across kernels.
+        self.segments = segments
+
+    def run(self):
+        """Execute the segmented run plan; returns the final time."""
+        for until, pokes in self.segments:
+            self.simulator.run(until=until)
+            for name, value, delay in pokes:
+                self.simulator.poke(name, value, delay)
+        return self.simulator.run(until=self.scenario.horizon)
+
+    def fingerprint(self):
+        """Every observable the two kernels must agree on."""
+        sim = self.simulator
+        return {
+            "log": list(self.log),
+            "end_time": sim.now,
+            "waveforms": {name: list(changes)
+                          for name, changes in self.recorder.changes.items()},
+            "final_values": {name: signal.value
+                             for name, signal in sim.signals.items()},
+            "run_counts": {name: process.run_count
+                           for name, process in sim.processes.items()},
+            "finished": {name: process.finished
+                         for name, process in sim.processes.items()},
+            "statistics": dict(sim.statistics),
+        }
+
+
+class KernelScenario:
+    """A reproducible random process network, identified by ``(size, seed)``."""
+
+    def __init__(self, seed, size="small"):
+        if size not in SIZES:
+            raise ValueError(f"unknown size {size!r}; available: {sorted(SIZES)}")
+        self.seed = seed
+        self.size = size
+        self.name = f"kernel-{size}-{seed}"
+        rng = random.Random(f"scenario:{size}:{seed}")
+        lo, hi, h_lo, h_hi = SIZES[size]
+        self.n_processes = rng.randint(lo, hi)
+        self.horizon = rng.randint(h_lo, h_hi)
+        self.n_layers = rng.randint(2, 4)
+        self.n_clocks = rng.randint(1, 3)
+
+    # ------------------------------------------------------------------ build
+
+    def build(self, kernel="production"):
+        """Build the network into a fresh *kernel*; returns the instance."""
+        rng = random.Random(f"build:{self.size}:{self.seed}")
+        sim = create_simulator(kernel)
+        log = []
+
+        clocks = [
+            sim.add_clock(f"clk{index}", period=2 * rng.randint(2, 12))
+            for index in range(self.n_clocks)
+        ]
+
+        # Data signals in layers; layer 0 is the clocks.
+        n_signals = max(4, self.n_processes // 2)
+        n_signals = min(n_signals, 40 if self.size != "stress" else 60)
+        layers = [[] for _ in range(self.n_layers)]
+        by_layer = {}
+        data_signals = []
+        for index in range(n_signals):
+            layer = rng.randrange(self.n_layers)
+            signal = sim.add_signal(f"data_l{layer}_{index}",
+                                    init=rng.randrange(8))
+            layers[layer].append(signal)
+            by_layer[signal.name] = layer + 1  # clocks occupy layer 0
+            data_signals.append(signal)
+        for clock in clocks:
+            by_layer[clock.name] = 0
+        # Guarantee no layer is empty (writers need targets).
+        for layer, members in enumerate(layers):
+            if not members:
+                signal = sim.add_signal(f"data_l{layer}_fill", init=0)
+                members.append(signal)
+                by_layer[signal.name] = layer + 1
+                data_signals.append(signal)
+
+        quiet = [sim.add_signal(f"quiet{index}")
+                 for index in range(max(2, self.n_processes // 50))]
+
+        context = _BuildContext(sim, rng, log, clocks, layers, by_layer,
+                                data_signals, quiet, self.horizon)
+        weights = _KIND_WEIGHTS[self.size]
+        builders = {
+            "sensitivity": context.add_sensitivity_process,
+            "clocked": context.add_clocked_process,
+            "script": context.add_script_process,
+            "watchdog": context.add_watchdog_process,
+            "poker": context.add_poker_process,
+            "idle": context.add_idle_process,
+        }
+        for index in range(self.n_processes):
+            builders[_weighted_choice(rng, weights)](index)
+
+        recorder = sim.add_recorder(WaveformRecorder())
+        segments = self._draw_segments(rng, sim)
+        return ScenarioInstance(self, sim, log, recorder, segments)
+
+    def _draw_segments(self, rng, sim):
+        """Split the horizon into run segments with pokes in between."""
+        segments = []
+        if rng.random() < 0.5:
+            cut = rng.randint(self.horizon // 4, 3 * self.horizon // 4)
+            pokes = []
+            for _ in range(rng.randint(0, 3)):
+                name = rng.choice(sorted(sim.signals))
+                pokes.append((name, rng.randrange(64),
+                              rng.choice((0, 0, 1, rng.randint(1, 40)))))
+            segments.append((cut, pokes))
+        return segments
+
+    def __repr__(self):
+        return (
+            f"KernelScenario({self.name}, processes={self.n_processes}, "
+            f"horizon={self.horizon} ns)"
+        )
+
+
+class _BuildContext:
+    """Shared state while populating one simulator with random processes."""
+
+    def __init__(self, sim, rng, log, clocks, layers, by_layer, data_signals,
+                 quiet, horizon):
+        self.sim = sim
+        self.rng = rng
+        self.log = log
+        self.clocks = clocks
+        self.layers = layers
+        self.by_layer = by_layer
+        self.data_signals = data_signals
+        self.quiet = quiet
+        self.horizon = horizon
+
+    # -------------------------------------------------------------- utilities
+
+    def _proc_rng(self, name):
+        return random.Random(f"proc:{name}")
+
+    def _observe_set(self, watched):
+        extra = self.rng.sample(self.data_signals,
+                                min(len(self.data_signals), self.rng.randint(1, 3)))
+        merged = list(watched)
+        for signal in extra:
+            if signal not in merged:
+                merged.append(signal)
+        return merged
+
+    def _zero_delay_targets(self, trigger_layer):
+        """Signals a trigger at *trigger_layer* may write with zero delay."""
+        out = []
+        for layer_index, members in enumerate(self.layers):
+            if layer_index + 1 > trigger_layer:
+                out.extend(members)
+        return out
+
+    def _max_layer(self, signals):
+        return max((self.by_layer[sig.name] for sig in signals), default=0)
+
+    def _make_actions(self, trigger_layer):
+        """Draw a static write plan for one process/script step.
+
+        Returns ``(zero_targets, delayed_plan)`` where *delayed_plan* is
+        ``[(signal, delay), ...]``; values are computed at runtime from the
+        observed signals and the process rng so divergence propagates.
+        """
+        zero_candidates = self._zero_delay_targets(trigger_layer)
+        zero_targets = []
+        if zero_candidates:
+            for _ in range(self.rng.randint(0, 2)):
+                zero_targets.append(self.rng.choice(zero_candidates))
+        delayed_plan = []
+        for _ in range(self.rng.randint(0, 2)):
+            delayed_plan.append((self.rng.choice(self.data_signals),
+                                 self.rng.randint(1, 60)))
+        return zero_targets, delayed_plan
+
+    def _act(self, name, proc_rng, observe, zero_targets, delayed_plan):
+        """Runtime body shared by every generated process kind."""
+        sim = self.sim
+        observed = tuple(signal.value for signal in observe)
+        self.log.append((name, sim.now, sim.delta, observed))
+        mix = sum(observed) + proc_rng.randrange(997)
+        for signal in zero_targets:
+            sim.schedule(signal, (mix + signal.change_count) % 251, 0)
+        for signal, delay in delayed_plan:
+            sim.schedule(signal, (mix * 7 + delay) % 241, delay)
+
+    # -------------------------------------------------------- process kinds
+
+    def add_sensitivity_process(self, index):
+        name = f"sense_{index}"
+        count = self.rng.randint(1, 3)
+        pool = self.clocks + self.data_signals
+        watched = self.rng.sample(pool, min(count, len(pool)))
+        observe = self._observe_set(watched)
+        zero_targets, delayed_plan = self._make_actions(self._max_layer(watched))
+        proc_rng = self._proc_rng(name)
+        # Fire on a value filter half the time, so runs depend on data.
+        threshold = self.rng.choice((None, None, self.rng.randrange(4)))
+
+        def body():
+            if threshold is not None and watched[0].value % 4 != threshold:
+                return
+            self._act(name, proc_rng, observe, zero_targets, delayed_plan)
+
+        self.sim.add_process(name, body, sensitivity=watched,
+                             initial_run=self.rng.random() < 0.3)
+
+    def add_clocked_process(self, index):
+        name = f"clocked_{index}"
+        clock = self.rng.choice(self.clocks)
+        edge = self.rng.choice((0, 1))
+        observe = self._observe_set([clock])
+        zero_targets, delayed_plan = self._make_actions(0)
+        proc_rng = self._proc_rng(name)
+
+        def body():
+            self._act(name, proc_rng, observe, zero_targets, delayed_plan)
+
+        self.sim.add_clocked_process(name, body, clock, edge=edge)
+
+    def add_script_process(self, index):
+        """A generator running a finite random script of waits + actions."""
+        name = f"script_{index}"
+        steps = []
+        for _ in range(self.rng.randint(3, 14)):
+            shape = self.rng.randrange(10)
+            if shape < 4:
+                wait = Timeout(self.rng.randint(1, 80))
+                trigger_layer = 0
+            elif shape < 8:
+                count = self.rng.randint(1, 2)
+                pool = self.clocks + self.data_signals
+                watched = self.rng.sample(pool, min(count, len(pool)))
+                timeout = (None if self.rng.random() < 0.5
+                           else self.rng.randint(1, 120))
+                wait = SignalChange(*watched, timeout=timeout)
+                trigger_layer = self._max_layer(watched)
+            else:
+                wait = Delta()
+                # A Delta wake happens inside the running delta cascade; be
+                # conservative and only allow writes into the last layer.
+                trigger_layer = len(self.layers) - 1
+            observe = self._observe_set(getattr(wait, "signals", ()))
+            steps.append((wait, observe, *self._make_actions(trigger_layer)))
+        parks = self.rng.random() < 0.5
+        park_signal = self.rng.choice(self.quiet)
+        proc_rng = self._proc_rng(name)
+
+        def script():
+            for wait, observe, zero_targets, delayed_plan in steps:
+                yield wait
+                self._act(name, proc_rng, observe, zero_targets, delayed_plan)
+            while parks:
+                yield SignalChange(park_signal, timeout=IDLE_TIMEOUT)
+
+        self.sim.add_process(name, script)
+
+    def add_watchdog_process(self, index):
+        """Bounded wait on a rarely-changing signal, re-issued forever."""
+        name = f"watchdog_{index}"
+        watched = (self.rng.choice(self.quiet) if self.rng.random() < 0.7
+                   else self.rng.choice(self.data_signals))
+        period = self.rng.randint(20, 150)
+        observe = self._observe_set([watched])
+        proc_rng = self._proc_rng(name)
+
+        def watchdog():
+            while True:
+                yield SignalChange(watched, timeout=period)
+                observed = tuple(signal.value for signal in observe)
+                self.log.append((name, self.sim.now, self.sim.delta,
+                                 (watched.event,) + observed))
+                proc_rng.random()
+
+        self.sim.add_process(name, watchdog)
+
+    def add_poker_process(self, index):
+        """Finite stimulus source: bursts of future transactions."""
+        name = f"poker_{index}"
+        bursts = []
+        for _ in range(self.rng.randint(2, 6)):
+            gap = self.rng.randint(5, 120)
+            writes = []
+            for _ in range(self.rng.randint(1, 4)):
+                # Same-delay writes to one signal from several pokers probe
+                # matured-transaction ordering (last write wins by seq).
+                writes.append((self.rng.choice(self.data_signals),
+                               self.rng.randrange(199),
+                               self.rng.randint(1, 50)))
+            bursts.append((gap, writes))
+
+        def poker():
+            for gap, writes in bursts:
+                yield Timeout(gap)
+                self.log.append((name, self.sim.now, self.sim.delta, ()))
+                for signal, value, delay in writes:
+                    self.sim.schedule(signal, value, delay)
+
+        self.sim.add_process(name, poker)
+
+    def add_idle_process(self, index):
+        """Permanently idle waiter: private signal + far-future deadline."""
+        name = f"idle_{index}"
+        idle_signal = self.sim.add_signal(f"idle_sig_{index}")
+
+        def idle():
+            while True:
+                yield SignalChange(idle_signal, timeout=IDLE_TIMEOUT)
+
+        self.sim.add_process(name, idle)

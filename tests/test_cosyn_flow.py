@@ -143,6 +143,30 @@ class TestFlowAndCoherence:
         assert "communication binding" in report
         assert "all co-synthesis constraints satisfied" in report
 
+    def test_bus_window_overflow_is_reported_not_raised(self):
+        # Regression (surfaced by the conformance kit): a model whose
+        # SW-visible ports exceed the ISA window used to crash mid-synthesis
+        # inside assign_addresses, making the flow's own window check
+        # unreachable.  The flow must complete and report the overflow.
+        from repro.comm import handshake_channel
+        from repro.core import SystemModel
+        from tests.conftest import make_host_module
+
+        model = SystemModel("WideSystem")
+        for index in range(5):  # 5 handshake units x 5 ports = 25 > 16 window
+            model.add_comm_unit(handshake_channel(
+                f"Wide{index}", put_name=f"Put{index}", get_name=f"Get{index}",
+                prefix=f"W{index}"))
+            model.add_software_module(
+                make_host_module(name=f"Host{index}", service=f"Put{index}"))
+            model.bind(f"Host{index}", f"Put{index}", f"Wide{index}")
+        result = CosynthesisFlow(model, get_platform("pc_at_fpga"),
+                                 validate=False).run()
+        assert not result.ok
+        assert any("bus window" in problem for problem in result.problems)
+        assert len(result.address_map) == 25
+        assert len(result.software) == 5
+
     def test_flow_requires_platform_instance(self):
         model, _ = build_system(MotorControllerConfig())
         with pytest.raises(SynthesisError):

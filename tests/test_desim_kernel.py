@@ -3,12 +3,15 @@
 import pytest
 
 from repro.desim import (
+    KERNELS,
     Delta,
     Monitor,
+    ReferenceSimulator,
     SignalChange,
     Simulator,
     Timeout,
     WaveformRecorder,
+    create_simulator,
 )
 from repro.desim.monitor import StabilityMonitor
 from repro.desim.simtime import format_time
@@ -478,6 +481,136 @@ class TestWaitWakeCancel:
         sim.add_process("stim", stim)
         sim.run()
         # Both watched signals changed in the same delta: one wake, not two.
+        assert wakes == [10]
+        assert sim.processes["w"].run_count == 2
+
+
+class TestSameDeltaWakeOrdering:
+    """Pinned regressions surfaced by the differential conformance kit."""
+
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_sensitivity_run_order_is_registration_order(self, kernel):
+        # Regression: the sensitivity index was a set of process names, so
+        # same-delta run order followed the string hashes — different in
+        # every interpreter process under hash randomization.  Order must
+        # be registration order, identically in both kernels.
+        sim = create_simulator(kernel)
+        clk = sim.add_clock("clk", period=10)
+        order = []
+        # Names chosen so hash order is unlikely to match registration
+        # order under many hash seeds.
+        for tag in ("foxtrot", "alpha", "echo", "bravo", "dingo", "charlie"):
+            def body(tag=tag):
+                if clk.value == 1:
+                    order.append(tag)
+            sim.add_process(f"writer_{tag}", body, sensitivity=[clk],
+                            initial_run=False)
+        sim.run(until=10)
+        assert order == ["foxtrot", "alpha", "echo", "bravo",
+                         "dingo", "charlie"] * 2
+
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_same_delta_last_write_wins_by_registration_order(self, kernel):
+        # Two processes writing the same signal in the same delta: the
+        # later-registered process must win, in every interpreter process.
+        sim = create_simulator(kernel)
+        clk = sim.add_clock("clk", period=10)
+        shared = sim.add_signal("shared", init=0)
+
+        def write(value):
+            def body():
+                if clk.value == 1:
+                    sim.schedule(shared, value, 0)
+            return body
+
+        sim.add_process("first_writer", write(1), sensitivity=[clk],
+                        initial_run=False)
+        sim.add_process("second_writer", write(2), sensitivity=[clk],
+                        initial_run=False)
+        sim.run(until=10)
+        assert shared.value == 2
+
+
+class TestKernelSelection:
+    def test_registry_contents(self):
+        assert KERNELS["production"] is Simulator
+        assert KERNELS["reference"] is ReferenceSimulator
+
+    def test_create_simulator_selects_kernel(self):
+        assert type(create_simulator()) is Simulator
+        assert type(create_simulator("reference")) is ReferenceSimulator
+        assert create_simulator("reference", max_deltas=7).max_deltas == 7
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SimulationError, match="unknown kernel"):
+            create_simulator("optimistic")
+
+
+class TestReferenceKernelParity:
+    """The naive oracle must honour the trickiest wait semantics directly
+    (the generated corpus covers the rest differentially)."""
+
+    def test_signal_wake_consumes_timeout_on_reference(self):
+        sim = ReferenceSimulator()
+        sig = sim.add_signal("s", init=0)
+        wakes = []
+
+        def watcher():
+            yield SignalChange(sig, timeout=100)
+            wakes.append(("event", sim.now, sig.event))
+            yield Timeout(500)
+            wakes.append(("later", sim.now))
+
+        sim.add_process("w", watcher)
+
+        def stim():
+            yield Timeout(10)
+            sim.schedule(sig, 1)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        assert wakes == [("event", 10, True), ("later", 510)]
+
+    def test_timeout_consumes_signal_wait_on_reference(self):
+        sim = ReferenceSimulator()
+        sig = sim.add_signal("s", init=0)
+        wakes = []
+
+        def watcher():
+            yield SignalChange(sig, timeout=40)
+            wakes.append(("timeout", sim.now, sig.event))
+            yield SignalChange(sig)
+            wakes.append(("event", sim.now, sig.value))
+
+        sim.add_process("w", watcher)
+
+        def stim():
+            yield Timeout(100)
+            sim.schedule(sig, 7)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        assert wakes == [("timeout", 40, False), ("event", 100, 7)]
+
+    def test_multi_signal_wait_wakes_once_on_reference(self):
+        sim = ReferenceSimulator()
+        a = sim.add_signal("a", init=0)
+        b = sim.add_signal("b", init=0)
+        wakes = []
+
+        def watcher():
+            yield SignalChange(a, b)
+            wakes.append(sim.now)
+
+        sim.add_process("w", watcher)
+
+        def stim():
+            yield Timeout(10)
+            sim.schedule(a, 1)
+            sim.schedule(b, 1)
+
+        sim.add_process("stim", stim)
+        sim.run()
         assert wakes == [10]
         assert sim.processes["w"].run_count == 2
 

@@ -1,0 +1,104 @@
+"""Quick tier of the conformance kit, wired into plain pytest.
+
+Each scenario is its own parametrized test, so a failure names the exact
+scenario (``kernel-small-3``, ``system-2``) — reproduce it standalone with
+``python -m repro.testkit --replay <name>``.  The full 270+ scenario sweep
+runs via ``make conformance``.
+"""
+
+import pytest
+
+from repro.testkit import (
+    KernelScenario,
+    check_cosim_conformance,
+    check_cosyn_conformance,
+    check_kernel_scenario,
+    generate_system,
+)
+from repro.testkit.runner import (
+    QUICK_COSIM_MODELS,
+    QUICK_COSYN_MODELS,
+    QUICK_KERNEL_TIER,
+    replay,
+    run_conformance,
+)
+
+KERNEL_PARAMS = [
+    pytest.param(size, seed, id=f"kernel-{size}-{seed}")
+    for size, count in QUICK_KERNEL_TIER
+    for seed in range(count)
+]
+
+
+@pytest.mark.parametrize("size, seed", KERNEL_PARAMS)
+def test_kernel_scenario_conformance(size, seed):
+    scenario = KernelScenario(seed, size=size)
+    problems = check_kernel_scenario(scenario)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize(
+    "seed", range(QUICK_COSIM_MODELS),
+    ids=[f"system-{seed}" for seed in range(QUICK_COSIM_MODELS)],
+)
+def test_cosim_oracle(seed):
+    system = generate_system(seed)
+    problems = check_cosim_conformance(system)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize(
+    "seed", range(QUICK_COSYN_MODELS),
+    ids=[f"system-{seed}" for seed in range(QUICK_COSYN_MODELS)],
+)
+def test_cosyn_oracle(seed):
+    system = generate_system(seed)
+    problems = check_cosyn_conformance(system)
+    assert not problems, "\n".join(problems)
+
+
+class TestKit:
+    def test_generation_is_reproducible(self):
+        # Two builds of one scenario produce identical fingerprints even on
+        # the same kernel — the generator draws nothing outside its seeds.
+        scenario = KernelScenario(11, size="tiny")
+        first = scenario.build("production")
+        second = scenario.build("production")
+        first.run()
+        second.run()
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_scenario_sizes_scale(self):
+        assert KernelScenario(0, size="tiny").n_processes < 20
+        assert KernelScenario(0, size="stress").n_processes >= 900
+
+    def test_generated_logs_are_nonempty(self):
+        # A scenario that generates no observable activity tests nothing.
+        instance = KernelScenario(0, size="small").build("production")
+        instance.run()
+        fingerprint = instance.fingerprint()
+        assert fingerprint["log"], "generated scenario produced no activity"
+        assert any(fingerprint["waveforms"].values())
+
+    def test_replay_round_trip(self):
+        assert replay("kernel-tiny-0") == []
+        assert replay("system-0") == []
+        with pytest.raises(ValueError):
+            replay("bogus-name")
+
+    def test_report_aggregation(self):
+        report = run_conformance(kernel_tier=(("tiny", 2),), cosim_models=1,
+                                 cosyn_models=1)
+        assert report.scenarios_run == 4
+        assert report.ok
+        assert "4 scenarios — PASS" in report.summary()
+
+    def test_lossless_expectations_present(self):
+        # At least some generated systems must carry functional oracles,
+        # otherwise the cosim check degrades to determinism-only.
+        systems = [generate_system(seed) for seed in range(10)]
+        assert any(
+            expected is not None
+            for system in systems
+            for expected in system.expectations.values()
+        )

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-seed conformance conformance-quick quickstart
+.PHONY: test bench bench-quick bench-seed conformance conformance-quick dse dse-quick quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,15 @@ conformance:
 # < 30 s smoke tier of the same kit (also exercised by the test suite).
 conformance-quick:
 	$(PYTHON) -m repro.testkit --quick
+
+# Partition-explorer sweep: heuristic search over a 20+-module testkit
+# workload on 4 workers, cosim-validated front, full JSON report.
+dse:
+	$(PYTHON) -m repro.dse --seed 0 --networks 9 --mode heuristic --workers 4 --validate --out dse_report.json
+
+# < 30 s exhaustive smoke sweep (also exercised by the test suite and CI).
+dse-quick:
+	$(PYTHON) -m repro.dse --quick
 
 quickstart:
 	$(PYTHON) examples/quickstart.py

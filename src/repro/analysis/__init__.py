@@ -12,7 +12,13 @@ package provides exactly that layer on top of the flow:
   simulation parameters for platform-timed re-simulation.
 """
 
-from repro.analysis.metrics import service_latency_stats, interface_traffic, LatencyStats
+from repro.analysis.metrics import (
+    LatencyStats,
+    interface_traffic,
+    service_boundary_words,
+    service_latency_stats,
+    static_boundary_traffic,
+)
 from repro.analysis.timing import (
     PulseTimingReport,
     check_pulse_timing,
@@ -24,6 +30,8 @@ from repro.analysis.back_annotation import BackAnnotation, back_annotate
 __all__ = [
     "service_latency_stats",
     "interface_traffic",
+    "service_boundary_words",
+    "static_boundary_traffic",
     "LatencyStats",
     "PulseTimingReport",
     "check_pulse_timing",

@@ -30,6 +30,7 @@ from repro.apps.motor_controller.system import (
     build_system,
     build_session,
     build_view_library_for,
+    make_motor_environment,
     observables,
 )
 from repro.apps.motor_controller.constraints import RealTimeConstraints
@@ -51,6 +52,7 @@ __all__ = [
     "build_system",
     "build_session",
     "build_view_library_for",
+    "make_motor_environment",
     "observables",
     "RealTimeConstraints",
     "build_two_axis_system",

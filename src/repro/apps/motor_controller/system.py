@@ -68,20 +68,37 @@ def build_session(config=None, clock_period=100, sw_activation_period=None,
         start_position=config.start_position,
         min_pulse_period_ns=config.min_pulse_period_ns,
     )
+    session.add_environment(make_motor_environment(config, motor=motor))
+    session.motor = motor
+    session.config = config
+    return session
+
+
+def make_motor_environment(config=None, motor=None):
+    """Environment hook attaching the motor's physical model to a session.
+
+    With no *motor* a fresh :class:`MotorModel` is created per session the
+    hook is applied to — what re-usable consumers (``repro.dse``
+    front validation) need, since the motor is stateful.
+    """
+    config = config or MotorControllerConfig()
 
     def attach_motor(active_session):
-        active_session.motor = motor
-        motor.attach(
+        plant = motor
+        if plant is None:
+            plant = MotorModel(
+                start_position=config.start_position,
+                min_pulse_period_ns=config.min_pulse_period_ns,
+            )
+        active_session.motor = plant
+        plant.attach(
             active_session.simulator,
             active_session.unit_signal("MotorUnit", "MOT_PULSE"),
             active_session.unit_signal("MotorUnit", "MOT_DIR"),
             active_session.unit_signal("MotorUnit", "MOT_SAMPLE_REG"),
         )
 
-    session.add_environment(attach_motor)
-    session.motor = motor
-    session.config = config
-    return session
+    return attach_motor
 
 
 def observables(session, result):

@@ -20,7 +20,11 @@ architecture (paper Figure 1, right branch):
 """
 
 from repro.cosyn.target import TargetArchitecture
-from repro.cosyn.sw_synthesis import SoftwareSynthesisResult, synthesize_software
+from repro.cosyn.sw_synthesis import (
+    SoftwareSynthesisResult,
+    estimate_software_metrics,
+    synthesize_software,
+)
 from repro.cosyn.hw_synthesis import HardwareSynthesisResult, synthesize_hardware
 from repro.cosyn.flow import CosynthesisFlow, CosynthesisResult
 from repro.cosyn.coherence import CoherenceReport, check_coherence
@@ -28,6 +32,7 @@ from repro.cosyn.coherence import CoherenceReport, check_coherence
 __all__ = [
     "TargetArchitecture",
     "SoftwareSynthesisResult",
+    "estimate_software_metrics",
     "synthesize_software",
     "HardwareSynthesisResult",
     "synthesize_hardware",

@@ -15,6 +15,8 @@ and returns a :class:`CosynthesisResult` holding every artefact plus a
 printable report — the co-synthesis half of the paper's Figure 1.
 """
 
+import json
+
 from repro.core.validation import validate_model
 from repro.cosyn.sw_synthesis import synthesize_software
 from repro.cosyn.hw_synthesis import synthesize_hardware
@@ -22,6 +24,39 @@ from repro.cosyn.target import TargetArchitecture
 from repro.platforms.base import Platform
 from repro.utils.errors import SynthesisError
 from repro.utils.text import format_table
+
+#: A hardware module's clock must track the platform bus within this many
+#: bus cycles.
+BUS_TRACKING_FACTOR = 4
+
+
+def check_device_fit(total_clbs, device):
+    """Problem string when *total_clbs* overflows *device*, else None.
+
+    Shared with the :mod:`repro.dse` static prune so both verdicts agree.
+    """
+    if total_clbs > device.clb_count:
+        return (f"hardware does not fit: {total_clbs} CLBs needed, "
+                f"{device.clb_count} available on {device.name}")
+    return None
+
+
+def check_bus_tracking(achievable_clock_ns, bus):
+    """Problem string when a clock cannot track *bus*, else None."""
+    if achievable_clock_ns > BUS_TRACKING_FACTOR * bus.cycle_ns:
+        return (f"achievable clock {achievable_clock_ns} ns "
+                f"is too slow to track the {bus.name} bus "
+                f"({bus.cycle_ns:.0f} ns cycle)")
+    return None
+
+
+def check_address_window(address_count, bus):
+    """Problem string when *address_count* overflows the bus window, else None."""
+    window = getattr(bus, "window", None)
+    if window is not None and address_count > window:
+        return (f"address map needs {address_count} locations, "
+                f"bus window offers {window}")
+    return None
 
 
 class CosynthesisResult:
@@ -64,6 +99,34 @@ class CosynthesisResult:
 
     def total_clbs(self):
         return sum(result.estimate.clbs_total for result in self.hardware.values())
+
+    def as_dict(self, include_text=False):
+        """JSON-serializable summary of the run (mirrors
+        :meth:`AreaTimingEstimate.as_dict`); *include_text* adds the emitted
+        C and VHDL sources.  Used by DSE reports and CI artifacts."""
+        return {
+            "system": self.target.model.name,
+            "platform": self.target.platform.name,
+            "ok": self.ok,
+            "problems": list(self.problems),
+            "system_clock_ns": self.system_clock_ns(),
+            "worst_software_activation_ns": round(self.software_activation_ns(), 1),
+            "total_clbs": self.total_clbs(),
+            "address_map": dict(self.address_map),
+            "software": {
+                name: result.as_dict(include_text=include_text)
+                for name, result in sorted(self.software.items())
+            },
+            "hardware": {
+                name: result.as_dict(include_text=include_text)
+                for name, result in sorted(self.hardware.items())
+            },
+        }
+
+    def to_json(self, include_text=False, indent=2):
+        """Deterministic JSON rendering of :meth:`as_dict`."""
+        return json.dumps(self.as_dict(include_text=include_text),
+                          indent=indent, sort_keys=True)
 
     def communication_binding_table(self):
         rows = [(port, hex(address) if isinstance(address, int) else address)
@@ -140,24 +203,16 @@ class CosynthesisFlow:
         problems = []
         device = self.platform.device
         if device is not None and result.hardware:
-            total = result.total_clbs()
-            if total > device.clb_count:
-                problems.append(
-                    f"hardware does not fit: {total} CLBs needed, "
-                    f"{device.clb_count} available on {device.name}"
-                )
+            problem = check_device_fit(result.total_clbs(), device)
+            if problem:
+                problems.append(problem)
         for module_name, hw_result in result.hardware.items():
-            bus_period_ns = self.platform.bus.cycle_ns
-            if hw_result.achievable_clock_ns > 4 * bus_period_ns:
-                problems.append(
-                    f"{module_name}: achievable clock {hw_result.achievable_clock_ns} ns "
-                    f"is too slow to track the {self.platform.bus.name} bus "
-                    f"({bus_period_ns:.0f} ns cycle)"
-                )
-        window = getattr(self.platform.bus, "window", None)
-        if window is not None and len(result.address_map) > window:
-            problems.append(
-                f"address map needs {len(result.address_map)} locations, "
-                f"bus window offers {window}"
-            )
+            problem = check_bus_tracking(hw_result.achievable_clock_ns,
+                                         self.platform.bus)
+            if problem:
+                problems.append(f"{module_name}: {problem}")
+        problem = check_address_window(len(result.address_map),
+                                       self.platform.bus)
+        if problem:
+            problems.append(problem)
         return problems

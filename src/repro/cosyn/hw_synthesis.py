@@ -19,6 +19,15 @@ from repro.utils.errors import SynthesisError
 from repro.utils.text import format_table
 
 
+def achievable_clock_ns(critical_path_ns):
+    """Smallest integer clock period (ns, ≥ 1) a critical path supports.
+
+    Shared by :class:`HardwareSynthesisResult` and the :mod:`repro.dse`
+    cost model so both sides of the flow agree on bus-tracking feasibility.
+    """
+    return max(1, int(round(critical_path_ns + 0.5)))
+
+
 class ProcessSynthesis:
     """Synthesis artefacts of one hardware process."""
 
@@ -59,12 +68,35 @@ class HardwareSynthesisResult:
     @property
     def achievable_clock_ns(self):
         """Smallest clock period (ns, integer) the synthesized module supports."""
-        return max(1, int(round(self.estimate.critical_path_ns + 0.5)))
+        return achievable_clock_ns(self.estimate.critical_path_ns)
 
     def utilisation(self):
         if self.device is None:
             return None
         return self.estimate.clbs_total / self.device.clb_count
+
+    def as_dict(self, include_text=False):
+        """JSON-serializable summary (set *include_text* for the VHDL)."""
+        data = {
+            "module": self.module.name,
+            "platform": self.platform_name,
+            "device": self.device.name if self.device else None,
+            "clock_ns": self.clock_ns,
+            "achievable_clock_ns": self.achievable_clock_ns,
+            "fits_device": self.fits_device,
+            "estimate": self.estimate.as_dict(),
+            "processes": {
+                name: process.estimate.as_dict()
+                for name, process in sorted(self.processes.items())
+            },
+        }
+        if include_text:
+            data["behavioural_vhdl"] = self.behavioural_vhdl
+            data["rtl_vhdl"] = {
+                name: process.rtl_text
+                for name, process in sorted(self.processes.items())
+            }
+        return data
 
     def report(self):
         rows = []
@@ -92,8 +124,13 @@ class HardwareSynthesisResult:
         )
 
 
-def synthesize_process(fsm, resources=None, width=16):
-    """Run the HLS pipeline for one behavioural FSM."""
+def build_process_fsmd(fsm, resources=None, width=16):
+    """The HLS front half: DFG → verified schedule → allocation → FSMD.
+
+    Shared by :func:`synthesize_process` (which continues into netlist/RTL
+    emission) and the :mod:`repro.dse` cost model (which stops here and
+    estimates).  Returns ``(fsmd, schedules, allocation)``.
+    """
     resources = dict(DEFAULT_RESOURCES if resources is None else resources)
     dfgs = build_fsm_dfgs(fsm, width=width)
     schedules = {name: list_schedule(dfg, resources) for name, dfg in dfgs.items()}
@@ -104,7 +141,13 @@ def synthesize_process(fsm, resources=None, width=16):
                 f"schedule of state {name!r} of {fsm.name!r} is invalid: {problems}"
             )
     allocation = allocate(fsm, schedules, width=width)
-    fsmd = build_fsmd(fsm, schedules, allocation)
+    return build_fsmd(fsm, schedules, allocation), schedules, allocation
+
+
+def synthesize_process(fsm, resources=None, width=16):
+    """Run the HLS pipeline for one behavioural FSM."""
+    fsmd, schedules, allocation = build_process_fsmd(fsm, resources=resources,
+                                                     width=width)
     netlist = build_netlist(fsmd, width=width)
     rtl_text = emit_rtl_vhdl(fsmd, netlist, width=width)
     estimate = estimate_fsmd(fsmd, width=width)
@@ -136,7 +179,7 @@ def synthesize_hardware(target, module, resources=None, width=16):
         services.append(unit.service(service_name))
     behavioural_vhdl = emit_module(module, services)
 
-    clock_ns = max(target.hw_clock_ns(), int(round(estimate.critical_path_ns + 0.5)))
+    clock_ns = max(target.hw_clock_ns(), achievable_clock_ns(estimate.critical_path_ns))
     return HardwareSynthesisResult(
         module, platform.name, platform.device, processes, behavioural_vhdl,
         estimate, clock_ns,

@@ -39,6 +39,20 @@ class SoftwareSynthesisResult:
     def worst_activation_ns(self):
         return self.metrics["worst_activation_ns"]
 
+    def as_dict(self, include_text=False):
+        """JSON-serializable summary (set *include_text* for the C program)."""
+        data = {
+            "module": self.module.name,
+            "platform": self.platform_name,
+            "metrics": dict(self.metrics),
+            "address_map": dict(self.address_map),
+            "services": sorted(self.service_views),
+        }
+        if include_text:
+            data["program_text"] = self.program_text
+            data["service_views"] = dict(self.service_views)
+        return data
+
     def report(self):
         rows = [(key, value) for key, value in sorted(self.metrics.items())]
         return (
@@ -97,6 +111,51 @@ def _state_expressions(state):
                 yield from iter_expr_tree(arg)
 
 
+def estimate_software_metrics(platform, fsm, services):
+    """Code-size / activation-timing metrics of one software FSM on *platform*.
+
+    The metrics depend only on the FSM, the service views it calls and the
+    platform timing model — **not** on the rest of the placement — which is
+    what lets :mod:`repro.dse` memoize them per (module, side, platform).
+    """
+    module_statements, _, _ = _fsm_access_counts(fsm)
+    total_statements = module_statements
+    total_reads = 0
+    total_writes = 0
+    worst_statements, worst_reads, worst_writes = _worst_state_costs(fsm)
+    for service in services:
+        statements, reads, writes = _fsm_access_counts(service.fsm)
+        total_statements += statements
+        total_reads += reads
+        total_writes += writes
+        service_worst = _worst_state_costs(service.fsm)
+        worst_statements = max(worst_statements, service_worst[0] + 2)
+        worst_reads = max(worst_reads, service_worst[1])
+        worst_writes = max(worst_writes, service_worst[2])
+
+    instructions = total_statements * 4 + 12 * (
+        len(fsm.states) + sum(len(s.fsm.states) for s in services)
+    )
+    code_size_bytes = instructions * 3  # average 386 instruction length
+    worst_activation_ns = platform.software_activation_ns(
+        statements=worst_statements, reads=worst_reads, writes=worst_writes
+    )
+    typical_activation_ns = platform.software_activation_ns(
+        statements=max(2, worst_statements // 2), reads=min(worst_reads, 1),
+        writes=min(worst_writes, 1),
+    )
+    return {
+        "statements": total_statements,
+        "estimated_instructions": instructions,
+        "code_size_bytes": code_size_bytes,
+        "worst_activation_ns": round(worst_activation_ns, 1),
+        "typical_activation_ns": round(typical_activation_ns, 1),
+        "port_reads": total_reads,
+        "port_writes": total_writes,
+        "services": len(services),
+    }
+
+
 def synthesize_software(target, module):
     """Run software synthesis for one module of a target architecture."""
     if module not in target.software_modules():
@@ -117,43 +176,7 @@ def synthesize_software(target, module):
         service.name: emit_service_view(service, syntax) for service in services
     }
 
-    # ---------------------------------------------------------------- metrics
-    module_statements, _, _ = _fsm_access_counts(module.fsm)
-    total_statements = module_statements
-    total_reads = 0
-    total_writes = 0
-    worst_statements, worst_reads, worst_writes = _worst_state_costs(module.fsm)
-    for service in services:
-        statements, reads, writes = _fsm_access_counts(service.fsm)
-        total_statements += statements
-        total_reads += reads
-        total_writes += writes
-        service_worst = _worst_state_costs(service.fsm)
-        worst_statements = max(worst_statements, service_worst[0] + 2)
-        worst_reads = max(worst_reads, service_worst[1])
-        worst_writes = max(worst_writes, service_worst[2])
-
-    instructions = total_statements * 4 + 12 * (
-        len(module.fsm.states) + sum(len(s.fsm.states) for s in services)
-    )
-    code_size_bytes = instructions * 3  # average 386 instruction length
-    worst_activation_ns = platform.software_activation_ns(
-        statements=worst_statements, reads=worst_reads, writes=worst_writes
-    )
-    typical_activation_ns = platform.software_activation_ns(
-        statements=max(2, worst_statements // 2), reads=min(worst_reads, 1),
-        writes=min(worst_writes, 1),
-    )
-    metrics = {
-        "statements": total_statements,
-        "estimated_instructions": instructions,
-        "code_size_bytes": code_size_bytes,
-        "worst_activation_ns": round(worst_activation_ns, 1),
-        "typical_activation_ns": round(typical_activation_ns, 1),
-        "port_reads": total_reads,
-        "port_writes": total_writes,
-        "services": len(services),
-    }
+    metrics = estimate_software_metrics(platform, module.fsm, services)
     return SoftwareSynthesisResult(
         module, platform.name, program_text, service_views, address_map, metrics
     )

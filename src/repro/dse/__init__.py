@@ -1,0 +1,65 @@
+"""Automated hw/sw partition exploration (design-space exploration, DSE).
+
+The paper's unified model assumes the hardware/software partitioning is an
+*input*; this subsystem searches for one.  Given a
+:class:`~repro.core.model.SystemModel` (hand-built or produced by
+:mod:`repro.testkit`), it
+
+1. enumerates hw/sw placements of the model's modules across every
+   registered platform (:mod:`repro.dse.space`) — exhaustively while the
+   full enumeration stays within
+   :data:`~repro.dse.search.EXHAUSTIVE_LIMIT_CANDIDATES` candidates
+   (≈10 movable modules on the built-in platforms), by seeded multi-start
+   greedy search beyond that,
+2. scores each candidate with a static cost model
+   (:mod:`repro.dse.cost`): HLS area/clock estimates for the hardware side,
+   software-synthesis activation timing for the software side, and static
+   SW/HW boundary traffic from :mod:`repro.analysis.metrics` — memoized per
+   (module, side, platform) and optionally evaluated on a
+   ``multiprocessing`` worker pool (:mod:`repro.dse.parallel`) with
+   byte-identical results,
+3. prunes by the platform constraint checks the co-synthesis flow enforces
+   (device fit, clock/bus tracking, address window),
+4. returns the Pareto front over (area, latency, software load)
+   (:mod:`repro.dse.pareto`) with full
+   :class:`~repro.cosyn.flow.CosynthesisResult` artefacts for each winner,
+   and can validate the front in co-simulation (:mod:`repro.dse.validate`).
+
+Entry points: ``python -m repro.dse`` (``make dse`` / ``make dse-quick``)
+or :func:`explore_model` / :class:`DesignSpaceExplorer` from code.  See
+``docs/dse.md``.
+"""
+
+from repro.dse.cost import CandidateEvaluator, CandidateScore
+from repro.dse.explorer import (
+    DesignSpaceExplorer,
+    ExplorationReport,
+    explore_model,
+)
+from repro.dse.pareto import dominates, pareto_front
+from repro.dse.search import (
+    EXHAUSTIVE_LIMIT_CANDIDATES,
+    enumerate_candidates,
+    exhaustive_search,
+    heuristic_search,
+)
+from repro.dse.space import Candidate, PartitionSpace, repartition
+from repro.dse.validate import validate_candidate
+
+__all__ = [
+    "Candidate",
+    "CandidateEvaluator",
+    "CandidateScore",
+    "DesignSpaceExplorer",
+    "ExplorationReport",
+    "EXHAUSTIVE_LIMIT_CANDIDATES",
+    "PartitionSpace",
+    "dominates",
+    "enumerate_candidates",
+    "exhaustive_search",
+    "explore_model",
+    "heuristic_search",
+    "pareto_front",
+    "repartition",
+    "validate_candidate",
+]

@@ -1,0 +1,156 @@
+"""Command-line entry of the partition explorer.
+
+Usage::
+
+    python -m repro.dse                          # testkit system 0, auto mode
+    python -m repro.dse --quick                  # < 30 s exhaustive smoke run
+    python -m repro.dse --model motor            # the paper's motor controller
+    python -m repro.dse --seed 7 --networks 9 --mode heuristic --workers 4
+    python -m repro.dse --validate --out report.json
+
+Exit status is non-zero when no feasible candidate exists or a validated
+front member fails co-simulation.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.utils.errors import ReproError
+
+
+def _parse_pins(parser, pairs):
+    pins = {}
+    for pair in pairs or ():
+        name, _, side = pair.partition("=")
+        if side not in ("sw", "hw"):
+            parser.error(f"--pin expects MODULE=sw or MODULE=hw, got {pair!r}")
+        pins[name] = side
+    return pins
+
+
+def _build_source(args):
+    """Resolve the model source:
+    (model, cosim_params, expectations, environment, pins)."""
+    if args.model == "motor":
+        from repro.apps.motor_controller.system import (
+            build_system,
+            make_motor_environment,
+        )
+
+        model, config = build_system()
+        return model, {}, None, make_motor_environment(config), {}
+    from repro.testkit.models import generate_system
+
+    system = generate_system(args.seed, networks=args.networks)
+    # Relays must stay in software for the co-simulation check to be
+    # meaningful; without --validate the whole space stays open.
+    pins = {name: "sw" for name in system.sw_only} if args.validate else {}
+    return (system.build_model(), system.cosim_params, system.expectations,
+            None, pins)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dse",
+        description="automated hw/sw partition explorer",
+    )
+    parser.add_argument("--model", choices=("testkit", "motor"),
+                        default="testkit",
+                        help="model source (default: testkit generator)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="testkit generator seed (default 0)")
+    parser.add_argument("--networks", type=int, default=None,
+                        help="testkit networks per system (default: random 1-3)")
+    parser.add_argument("--platforms", nargs="+", metavar="NAME",
+                        help="platforms to sweep (default: all registered)")
+    parser.add_argument("--mode", choices=("auto", "exhaustive", "heuristic"),
+                        default="auto", help="search mode (default auto)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="evaluation worker processes (default 1: serial)")
+    parser.add_argument("--search-seed", type=int, default=0,
+                        help="heuristic search seed (default 0)")
+    parser.add_argument("--restarts", type=int, default=3,
+                        help="heuristic restarts per platform (default 3)")
+    parser.add_argument("--max-rounds", type=int, default=20,
+                        help="greedy rounds per restart (default 20)")
+    parser.add_argument("--pin", action="append", metavar="MODULE=SIDE",
+                        help="pin a module to sw or hw (repeatable)")
+    parser.add_argument("--validate", action="store_true",
+                        help="co-simulate every Pareto-front candidate")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the JSON report to FILE")
+    parser.add_argument("--full-scores", action="store_true",
+                        help="include every evaluated score in the report")
+    parser.add_argument("--quick", action="store_true",
+                        help="small exhaustive smoke run (< 30 s)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        # Defaults only — explicit --model/--mode/--networks still win.
+        if args.mode == "auto":
+            args.mode = "exhaustive"
+        if args.model == "testkit":
+            args.validate = True
+            if args.networks is None:
+                args.networks = 2
+
+    if args.model == "motor" and (args.seed != 0 or args.networks is not None):
+        parser.error("--seed/--networks only apply to --model testkit")
+
+    explicit_pins = _parse_pins(parser, args.pin)
+    try:
+        model, cosim_params, expectations, environment, pins = \
+            _build_source(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pins.update(explicit_pins)
+
+    started = time.perf_counter()
+    try:
+        explorer = DesignSpaceExplorer(
+            model, platforms=args.platforms, pins=pins,
+            cosim_params=cosim_params, expectations=expectations,
+            environment=environment,
+        )
+        report = explorer.explore(
+            mode=args.mode, seed=args.search_seed, workers=args.workers,
+            restarts=args.restarts, max_rounds=args.max_rounds,
+            validate=args.validate,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    print(report.summary())
+    stats = explorer.evaluator.stats
+    if args.workers <= 1:
+        print(f"(synthesis calls: {stats['synthesis_calls']}, "
+              f"cache hits: {stats['cache_hits']})")
+    print(f"({elapsed:.1f} s wall clock, {args.workers} worker(s))")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json(include_scores=args.full_scores))
+            handle.write("\n")
+        print(f"report written to {args.out}")
+
+    if not report.feasible:
+        print("no feasible candidate found", file=sys.stderr)
+        return 1
+    if report.validation is not None:
+        failed = [item for item in report.validation if not item["ok"]]
+        if failed:
+            for item in failed:
+                for problem in item["problems"]:
+                    print(f"validation: {item['candidate']}: {problem}",
+                          file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

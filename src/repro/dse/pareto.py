@@ -1,0 +1,37 @@
+"""Pareto-front extraction over candidate scores.
+
+Objectives are minimized; see :meth:`CandidateScore.objectives`.  The front
+contains every feasible candidate not strictly dominated by another —
+candidates with *identical* objective vectors are all kept (they are
+distinct design points the user may still want to choose between).
+"""
+
+
+def dominates(left, right):
+    """True when objective tuple *left* Pareto-dominates *right*."""
+    return (all(l <= r for l, r in zip(left, right))
+            and any(l < r for l, r in zip(left, right)))
+
+
+def pareto_front(scores):
+    """Non-dominated feasible scores, deterministically ordered.
+
+    Duplicate candidates (a search mode may revisit a placement) are
+    collapsed first; the result is sorted by objective vector, then by
+    candidate key, so the front is reproducible independent of evaluation
+    order.
+    """
+    unique = {}
+    for score in scores:
+        if score.feasible:
+            unique.setdefault(score.candidate.key(), score)
+    items = sorted(unique.values(),
+                   key=lambda s: (s.objectives(), s.candidate.key()))
+    front = []
+    # Lexicographic order guarantees a later item never dominates an earlier
+    # one, so each item only needs checking against the front built so far.
+    for score in items:
+        if not any(dominates(member.objectives(), score.objectives())
+                   for member in front):
+            front.append(score)
+    return front

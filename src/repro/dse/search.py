@@ -1,0 +1,122 @@
+"""Search modes over the partition space.
+
+* :func:`exhaustive_search` — scores **every** placement of every platform:
+  ``2^n`` per hardware platform (n = movable modules), provably complete.
+  Tractable to ``EXHAUSTIVE_LIMIT_CANDIDATES`` total candidates.
+* :func:`heuristic_search` — seeded multi-start greedy search for larger
+  models.  Each restart draws a random starting placement and a random
+  weight vector over the objectives (so different restarts pursue different
+  corners of the area/latency/load tradeoff), then repeatedly evaluates
+  every single-module flip of the current placement in one batch — the
+  batches are what the worker pool parallelises — and moves to the best
+  neighbour until none improves.  Every score visited lands in the archive,
+  and the Pareto front is taken over the whole archive.
+
+Both modes call only the supplied ``evaluate_many`` callback, which is
+either the serial evaluator or a multiprocessing pool: for a fixed seed the
+proposed candidates, and therefore the resulting scores, are identical
+either way.
+"""
+
+import random
+
+from repro.dse.space import Candidate
+from repro.utils.errors import SynthesisError
+
+#: ``mode="auto"`` stays exhaustive while the full enumeration is at most
+#: this many candidates (2^10 placements on each of the four built-in
+#: platforms ≈ 10 movable modules).
+EXHAUSTIVE_LIMIT_CANDIDATES = 4 * (1 << 10)
+
+#: Hard candidate cap for an explicitly requested exhaustive run.
+EXHAUSTIVE_HARD_LIMIT_CANDIDATES = 1 << 16
+
+#: Scalarization scales: one unit of weight ≈ 100 CLBs ≈ 1 µs of latency
+#: ≈ 1 µs of software load (the typical magnitudes of the three objectives).
+_SCALES = (100.0, 1000.0, 1000.0)
+
+#: Scalar cost assigned to an infeasible candidate (dwarfs any feasible one).
+_INFEASIBLE_PENALTY = 1e12
+
+
+def total_placements(space, platforms):
+    """Size of the full enumeration across the swept platforms."""
+    return sum(space.placement_count(platform)
+               for platform in platforms.values())
+
+
+def enumerate_candidates(space, platforms):
+    """All candidates of the exhaustive sweep, in deterministic order."""
+    candidates = []
+    for platform_name in sorted(platforms):
+        for hw_set in space.placements(platforms[platform_name]):
+            candidates.append(Candidate(platform_name, tuple(hw_set)))
+    return candidates
+
+
+def exhaustive_search(space, platforms, evaluate_many):
+    """Score every placement of every platform."""
+    total = total_placements(space, platforms)
+    if total > EXHAUSTIVE_HARD_LIMIT_CANDIDATES:
+        raise SynthesisError(
+            f"exhaustive search over {total} candidates "
+            f"({len(space.movable)} movable modules) refused; "
+            "use heuristic mode"
+        )
+    return evaluate_many(enumerate_candidates(space, platforms))
+
+
+def _scalar(score, weights):
+    if not score.feasible:
+        # Rank infeasible candidates by area so a climb can still move
+        # toward the feasible region.
+        return _INFEASIBLE_PENALTY + score.area_clbs
+    return sum(weight * objective / scale for weight, objective, scale
+               in zip(weights, score.objectives(), _SCALES))
+
+
+def heuristic_search(space, platforms, evaluate_many, seed=0, restarts=3,
+                     max_rounds=20):
+    """Seeded multi-start greedy search; returns every score visited.
+
+    Deterministic for a fixed ``(seed, restarts, max_rounds)``: the random
+    draws depend only on the seed and the iteration structure, and the
+    greedy trajectory depends only on the (deterministic) scores.
+    """
+    rng = random.Random(f"dse:{seed}")
+    archive = {}
+
+    def evaluate(candidates):
+        fresh = [c for c in candidates if c.key() not in archive]
+        if fresh:
+            for score in evaluate_many(fresh):
+                archive[score.candidate.key()] = score
+        return [archive[c.key()] for c in candidates]
+
+    for platform_name in sorted(platforms):
+        platform = platforms[platform_name]
+        if not platform.has_hardware:
+            evaluate([Candidate(platform_name, tuple(hw_set))
+                      for hw_set in space.placements(platform)])
+            continue
+        for _restart in range(restarts):
+            weights = tuple(rng.uniform(0.05, 1.0) for _ in range(3))
+            current, = evaluate(
+                [Candidate(platform_name, tuple(space.random_placement(rng)))]
+            )
+            for _round in range(max_rounds):
+                hw_set = set(current.candidate.hw_modules)
+                neighbours = [
+                    Candidate(platform_name, tuple(hw_set ^ {module}))
+                    for module in space.movable
+                ]
+                if not neighbours:
+                    break
+                scores = evaluate(neighbours)
+                best = min(scores,
+                           key=lambda s: (_scalar(s, weights), s.candidate.key()))
+                if _scalar(best, weights) < _scalar(current, weights) - 1e-9:
+                    current = best
+                else:
+                    break
+    return list(archive.values())

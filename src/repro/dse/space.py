@@ -1,0 +1,165 @@
+"""The hw/sw partition design space: candidates, movability, repartitioning.
+
+The paper's unified model treats the partitioning as an *input*
+(:mod:`repro.cosyn.target` says so verbatim); this module makes it a
+*variable*.  A design point — a :class:`Candidate` — is one platform plus
+the set of modules placed in hardware; every other module runs as software.
+
+Which modules may move:
+
+* a :class:`~repro.core.module.SoftwareModule` can always move to hardware
+  (its single FSM becomes a one-process hardware module),
+* a :class:`~repro.core.module.HardwareModule` can move to software only
+  when it has exactly one process and no ports or internal signals (the
+  process FSM then becomes the module's software behaviour); multi-process
+  or ported hardware modules are *pinned* to hardware,
+* callers may pin any module to one side explicitly
+  (``pins={"Relay0": "sw"}``), e.g. to keep testkit relays co-simulatable.
+"""
+
+import dataclasses
+
+from repro.core.model import SystemModel
+from repro.core.module import HardwareModule, SoftwareModule
+from repro.utils.errors import SynthesisError
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    """One design point: a platform name plus the modules placed in hardware."""
+
+    platform: str
+    hw_modules: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "hw_modules",
+                           tuple(sorted(set(self.hw_modules))))
+
+    def key(self):
+        return (self.platform, self.hw_modules)
+
+    def label(self):
+        placed = "+".join(self.hw_modules) if self.hw_modules else "all-sw"
+        return f"{self.platform}:{placed}"
+
+    def __repr__(self):
+        return f"Candidate({self.label()})"
+
+
+def convertible_to_software(module):
+    return (len(module.behaviours()) == 1 and not module.ports
+            and not module.internal_signals)
+
+
+def software_conversion_error(module_name, verb):
+    """The one error every consumer of the movability rule raises."""
+    return SynthesisError(
+        f"module {module_name!r} cannot {verb}: it has multiple processes "
+        "or hardware ports"
+    )
+
+
+class PartitionSpace:
+    """The set of hw/sw placements of one model that DSE may explore."""
+
+    def __init__(self, model, pins=None):
+        self.model = model
+        self.pins = dict(pins or {})
+        for name, side in self.pins.items():
+            if name not in model.modules:
+                raise SynthesisError(f"pinned module {name!r} is not in the model")
+            if side not in ("sw", "hw"):
+                raise SynthesisError(
+                    f"pin for {name!r} must be 'sw' or 'hw', got {side!r}"
+                )
+            module = model.modules[name]
+            if side == "sw" and isinstance(module, HardwareModule) \
+                    and not convertible_to_software(module):
+                raise software_conversion_error(name, "be pinned to software")
+        self.movable = []
+        self.pinned_hw = []
+        self.pinned_sw = []
+        for name in sorted(model.modules):
+            module = model.modules[name]
+            side = self.pins.get(name)
+            if side == "hw":
+                self.pinned_hw.append(name)
+            elif side == "sw":
+                self.pinned_sw.append(name)
+            elif isinstance(module, SoftwareModule):
+                self.movable.append(name)
+            elif convertible_to_software(module):
+                self.movable.append(name)
+            else:
+                self.pinned_hw.append(name)
+
+    # ------------------------------------------------------------ enumeration
+
+    def placement_count(self, platform):
+        """Number of placements :meth:`placements` yields for *platform*."""
+        if not platform.has_hardware:
+            return 0 if self.pinned_hw else 1
+        return 1 << len(self.movable)
+
+    def placements(self, platform):
+        """Yield every hw-module set for *platform*, in deterministic order.
+
+        For a platform with programmable hardware this is all ``2^n``
+        subsets of the movable modules (each unioned with the pinned-hw
+        set), in bitmask order over the sorted module names.  A platform
+        without hardware admits only the all-software placement — and none
+        at all when some module is pinned to hardware.
+        """
+        if not platform.has_hardware:
+            if not self.pinned_hw:
+                yield frozenset()
+            return
+        base = frozenset(self.pinned_hw)
+        for mask in range(1 << len(self.movable)):
+            chosen = {self.movable[i] for i in range(len(self.movable))
+                      if mask >> i & 1}
+            yield base | frozenset(chosen)
+
+    def random_placement(self, rng):
+        """One random feasible-by-construction hw set (pins respected)."""
+        chosen = {name for name in self.movable if rng.random() < 0.5}
+        return frozenset(chosen) | frozenset(self.pinned_hw)
+
+
+def repartition(model, hw_modules, name=None):
+    """Build a fresh :class:`SystemModel` placing exactly *hw_modules* in HW.
+
+    Module FSMs and communication units are shared with *model* (they are
+    static descriptions); module wrappers and bindings are rebuilt, so the
+    input model is never mutated.
+    """
+    hw_modules = set(hw_modules)
+    unknown = hw_modules - set(model.modules)
+    if unknown:
+        raise SynthesisError(f"unknown modules in placement: {sorted(unknown)}")
+    new = SystemModel(name or model.name, description=model.description)
+    for unit in model.comm_units.values():
+        new.add_comm_unit(unit)
+    for mod_name, module in model.modules.items():
+        if mod_name in hw_modules:
+            if isinstance(module, HardwareModule):
+                new.add_hardware_module(module)
+            else:
+                new.add_hardware_module(HardwareModule(
+                    mod_name, [module.fsm], ports=list(module.ports.values()),
+                    description=module.description,
+                ))
+        else:
+            if isinstance(module, SoftwareModule):
+                new.add_software_module(module)
+            else:
+                if not convertible_to_software(module):
+                    raise software_conversion_error(mod_name,
+                                                    "be placed in software")
+                (fsm,) = module.behaviours()
+                new.add_software_module(SoftwareModule(
+                    mod_name, fsm, description=module.description,
+                ))
+    for binding in model.bindings:
+        new.bind(binding.module, binding.service, binding.unit)
+    return new

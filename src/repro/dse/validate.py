@@ -1,0 +1,63 @@
+"""Co-simulation validation of Pareto-front candidates.
+
+The static cost model can only say a placement is *statically* feasible;
+running the survivor through :class:`~repro.cosim.session.CosimSession`
+checks it still behaves.  The completion policy and the functional oracle
+(``RECEIVED``/``TOTAL`` expectations, every software module finished) are
+shared with the testkit conformance kit
+(:func:`repro.testkit.oracles.run_session_to_completion` /
+:func:`~repro.testkit.oracles.check_functional_outcome`), so DSE validation
+and the conformance sweep can never silently diverge.
+"""
+
+from repro.cosim import CosimSession
+from repro.dse.space import repartition
+from repro.testkit.oracles import (
+    COSIM_MAX_TIME,
+    check_functional_outcome,
+    run_session_to_completion,
+)
+from repro.utils.errors import ReproError
+
+#: Generous completion horizon (the testkit cosim oracle's).
+MAX_VALIDATION_TIME = COSIM_MAX_TIME
+
+
+def validate_candidate(model, candidate, cosim_params=None, expectations=None,
+                       environment=None, max_time=MAX_VALIDATION_TIME):
+    """Co-simulate *candidate*'s placement of *model*; return a verdict dict.
+
+    *expectations* follows the testkit convention
+    (``{consumer: {"words": n, "total": sum} | None}``); with no
+    expectations only "every software module finished" is checked.
+    *environment* is an optional ``hook(session)`` registered via
+    :meth:`CosimSession.add_environment` — the motor model's physical plant
+    is attached this way.
+    """
+    expectations = expectations or {}
+    try:
+        candidate_model = repartition(model, candidate.hw_modules)
+        session = CosimSession(candidate_model, **(cosim_params or {}))
+        if environment is not None:
+            session.add_environment(environment)
+        result = run_session_to_completion(session, expectations,
+                                           max_time=max_time)
+    except ReproError as exc:
+        # Any library failure — an unplaceable module (SynthesisError), a
+        # model that no longer validates, an illegal simulation condition —
+        # is a verdict, not an abort: the search already ran.
+        return {
+            "candidate": candidate.label(),
+            "ok": False,
+            "problems": [f"co-simulation failed: {exc}"],
+            "end_time": None,
+        }
+
+    problems = check_functional_outcome(session, result, expectations,
+                                        max_time=max_time)
+    return {
+        "candidate": candidate.label(),
+        "ok": not problems,
+        "problems": problems,
+        "end_time": result.end_time,
+    }

@@ -22,7 +22,13 @@ from repro.platforms.pc_at import PcAtFpgaPlatform
 from repro.platforms.unix_ipc import UnixIpcPlatform
 from repro.platforms.microcoded import MicrocodedPlatform
 from repro.platforms.multiproc import MultiprocessorPlatform
-from repro.platforms.registry import register_platform, get_platform, available_platforms
+from repro.platforms.registry import (
+    available_platforms,
+    builtin_platforms,
+    get_platform,
+    register_platform,
+    unregister_platform,
+)
 
 __all__ = [
     "Platform",
@@ -37,6 +43,8 @@ __all__ = [
     "MicrocodedPlatform",
     "MultiprocessorPlatform",
     "register_platform",
+    "unregister_platform",
     "get_platform",
     "available_platforms",
+    "builtin_platforms",
 ]

@@ -1,4 +1,15 @@
-"""Platform registry: look up target platforms by name."""
+"""Platform registry: look up target platforms by name.
+
+Registration semantics (relied upon by the :mod:`repro.dse` platform sweep):
+
+* built-in platforms are always available under their canonical names,
+* :func:`register_platform` refuses to reuse any registered name — built-in
+  or custom — unless ``replace=True`` is passed explicitly,
+* with ``replace=True`` a custom factory *shadows* the previous registration;
+  :func:`get_platform` then resolves the custom factory first,
+* :func:`unregister_platform` removes a custom factory, un-shadowing the
+  built-in of the same name (if any); built-ins themselves cannot be removed.
+"""
 
 from repro.platforms.microcoded import MicrocodedPlatform
 from repro.platforms.multiproc import MultiprocessorPlatform
@@ -6,7 +17,7 @@ from repro.platforms.pc_at import PcAtFpgaPlatform
 from repro.platforms.unix_ipc import UnixIpcPlatform
 from repro.utils.errors import SynthesisError
 
-_FACTORIES = {
+_BUILTIN = {
     "pc_at_fpga": PcAtFpgaPlatform,
     "unix_ipc": UnixIpcPlatform,
     "microcoded": MicrocodedPlatform,
@@ -17,24 +28,51 @@ _CUSTOM = {}
 
 
 def register_platform(name, factory, replace=False):
-    """Register a custom platform factory under *name*."""
-    if name in _FACTORIES or (name in _CUSTOM and not replace):
-        if not replace:
-            raise SynthesisError(f"platform {name!r} is already registered")
+    """Register a custom platform factory under *name*.
+
+    Raises :class:`SynthesisError` when *name* is already registered (as a
+    built-in or a custom factory) and ``replace`` is false.  ``replace=True``
+    shadows the existing registration; a shadowed built-in is restored by
+    :func:`unregister_platform`.
+    """
+    if not replace and (name in _BUILTIN or name in _CUSTOM):
+        kind = "built-in" if name in _BUILTIN else "custom"
+        raise SynthesisError(
+            f"platform {name!r} is already registered ({kind}); "
+            "pass replace=True to shadow it"
+        )
     _CUSTOM[name] = factory
     return factory
 
 
+def unregister_platform(name):
+    """Remove the custom factory *name*, un-shadowing any built-in."""
+    if name in _CUSTOM:
+        del _CUSTOM[name]
+        return
+    if name in _BUILTIN:
+        raise SynthesisError(f"platform {name!r} is built-in and cannot be removed")
+    raise SynthesisError(f"no custom platform {name!r} is registered")
+
+
 def get_platform(name, **kwargs):
-    """Instantiate the platform registered under *name*."""
-    factory = _CUSTOM.get(name) or _FACTORIES.get(name)
-    if factory is None:
+    """Instantiate the platform registered under *name* (custom wins)."""
+    if name in _CUSTOM:
+        factory = _CUSTOM[name]
+    elif name in _BUILTIN:
+        factory = _BUILTIN[name]
+    else:
         raise SynthesisError(
             f"unknown platform {name!r}; available: {sorted(available_platforms())}"
         )
     return factory(**kwargs)
 
 
+def builtin_platforms():
+    """Names of the built-in platforms."""
+    return sorted(_BUILTIN)
+
+
 def available_platforms():
     """Names of all registered platforms."""
-    return sorted(set(_FACTORIES) | set(_CUSTOM))
+    return sorted(set(_BUILTIN) | set(_CUSTOM))

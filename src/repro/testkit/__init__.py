@@ -28,7 +28,7 @@ alone — see ``docs/testing.md``.
 """
 
 from repro.testkit.generator import KernelScenario, SIZES
-from repro.testkit.models import GeneratedSystem, generate_system
+from repro.testkit.models import GeneratedSystem, generate_models, generate_system
 from repro.testkit.oracles import (
     check_cosim_conformance,
     check_cosyn_conformance,
@@ -43,6 +43,7 @@ __all__ = [
     "KernelScenario",
     "SIZES",
     "GeneratedSystem",
+    "generate_models",
     "generate_system",
     "check_cosim_conformance",
     "check_cosyn_conformance",

@@ -7,14 +7,17 @@ Usage::
     python -m repro.testkit --seed-base 1000
     python -m repro.testkit --replay kernel-medium-17
     python -m repro.testkit --kernel-scenarios tiny=5 small=2 --cosim 3 --cosyn 1
+    python -m repro.testkit --emit-models 5 --networks 4   # generator only
 
 Exit status is non-zero when any scenario diverges or violates an oracle.
 """
 
 import argparse
+import json
 import sys
 import time
 
+from repro.testkit.models import generate_models
 from repro.testkit.runner import (
     FULL_COSIM_MODELS,
     FULL_COSYN_MODELS,
@@ -54,9 +57,42 @@ def main(argv=None):
                         help="number of generated systems for the cosyn oracle")
     parser.add_argument("--replay", metavar="NAME",
                         help="re-run one scenario by name and exit")
+    parser.add_argument("--emit-models", type=int, metavar="N",
+                        help="print N generated system models (one JSON line "
+                             "each) without running any oracle, then exit")
+    parser.add_argument("--networks", type=int, default=None,
+                        help="with --emit-models: networks per generated "
+                             "system (default: random 1-3)")
     parser.add_argument("--verbose", action="store_true",
                         help="print one line per scenario")
     args = parser.parse_args(argv)
+
+    if args.networks is not None and args.emit_models is None:
+        parser.error("--networks only applies to --emit-models; the "
+                     "conformance tiers use the generator's own 1-3 "
+                     "network sizing")
+
+    if args.emit_models is not None:
+        if args.emit_models < 1:
+            parser.error("--emit-models expects a positive count")
+        try:
+            systems = list(generate_models(args.emit_models,
+                                           seed_base=args.seed_base,
+                                           networks=args.networks))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for system in systems:
+            model = system.build_model()
+            print(json.dumps({
+                "name": system.name,
+                "summary": system.summary,
+                "modules": len(model.modules),
+                "sw_only": list(system.sw_only),
+                "cosim_params": system.cosim_params,
+                "topology": model.topology(),
+            }, sort_keys=True))
+        return 0
 
     if args.replay:
         problems = replay(args.replay)

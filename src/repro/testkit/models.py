@@ -35,7 +35,8 @@ CHANNEL_KINDS = {
 class GeneratedSystem:
     """A generated model plus everything needed to check and re-run it."""
 
-    def __init__(self, seed, builder, expectations, cosim_params, summary):
+    def __init__(self, seed, builder, expectations, cosim_params, summary,
+                 sw_only=()):
         self.seed = seed
         self.name = f"system-{seed}"
         self._builder = builder
@@ -45,6 +46,10 @@ class GeneratedSystem:
         #: Keyword arguments for :class:`~repro.cosim.session.CosimSession`.
         self.cosim_params = cosim_params
         self.summary = summary
+        #: Modules that must stay in software for co-simulation validity
+        #: (relays: the clocked hardware adapter is only validated for
+        #: single-call chains).  DSE pins these when cosim-validating.
+        self.sw_only = tuple(sw_only)
 
     def build_model(self):
         """Return a **fresh** :class:`SystemModel` (never shared between runs)."""
@@ -111,11 +116,18 @@ def _add_module(model, name, fsm, software, activation_period=None):
         model.add_hardware_module(HardwareModule(name, [fsm]))
 
 
-def generate_system(seed):
-    """Generate the reproducible random system identified by *seed*."""
+def generate_system(seed, networks=None):
+    """Generate the reproducible random system identified by *seed*.
+
+    *networks* overrides the random 1–3 network count, which is how DSE and
+    stress workloads obtain systems far larger than the conformance tiers
+    use; the result is still fully determined by ``(seed, networks)``.
+    """
     rng = random.Random(f"system:{seed}")
-    n_networks = rng.randint(1, 3)
-    networks = []
+    n_networks = rng.randint(1, 3) if networks is None else int(networks)
+    if n_networks < 1:
+        raise ValueError("networks must be >= 1")
+    specs = []
     any_software = False
     for index in range(n_networks):
         kind = rng.choice(sorted(CHANNEL_KINDS))
@@ -131,12 +143,12 @@ def generate_system(seed):
         if pipeline:
             software[1] = True
         activation = rng.choice((None, None, 200, 300))
-        networks.append((index, kind, pipeline, words, start, software, activation))
+        specs.append((index, kind, pipeline, words, start, software, activation))
         any_software = any_software or any(software)
     if not any_software:
-        index, kind, pipeline, words, start, software, activation = networks[0]
+        index, kind, pipeline, words, start, software, activation = specs[0]
         software = [True] + software[1:]
-        networks[0] = (index, kind, pipeline, words, start, software, activation)
+        specs[0] = (index, kind, pipeline, words, start, software, activation)
 
     clock_period = rng.choice((20, 60, 100))
     sw_activation_period = clock_period * rng.choice((1, 2))
@@ -145,7 +157,7 @@ def generate_system(seed):
 
     def builder():
         model = SystemModel(f"Generated{seed}")
-        for index, kind, pipeline, words, start, software, activation in networks:
+        for index, kind, pipeline, words, start, software, activation in specs:
             factory, _ = CHANNEL_KINDS[kind]
             if pipeline:
                 model.add_comm_unit(factory(
@@ -186,7 +198,10 @@ def generate_system(seed):
 
     expectations = {}
     summary_bits = []
-    for index, kind, pipeline, words, start, software, _ in networks:
+    sw_only = []
+    for index, kind, pipeline, words, start, software, _ in specs:
+        if pipeline:
+            sw_only.append(f"Relay{index}")
         _, lossless = CHANNEL_KINDS[kind]
         expected = None
         if lossless:
@@ -197,4 +212,16 @@ def generate_system(seed):
         partition = "".join("S" if sw else "H" for sw in software)
         summary_bits.append(f"{kind}/{shape}/{partition}")
     return GeneratedSystem(seed, builder, expectations, cosim_params,
-                           "+".join(summary_bits))
+                           "+".join(summary_bits), sw_only=sw_only)
+
+
+def generate_models(count, seed_base=0, networks=None):
+    """Yield *count* :class:`GeneratedSystem` instances, oracle-free.
+
+    This is the workload-source hook for consumers (``repro.dse``, ad-hoc
+    experiments) that want the generator's systems without paying for the
+    differential conformance oracles.  Exposed on the CLI as
+    ``python -m repro.testkit --emit-models N``.
+    """
+    for offset in range(count):
+        yield generate_system(seed_base + offset, networks=networks)

@@ -32,10 +32,10 @@ from repro.platforms import get_platform
 COSIM_MAX_TIME = 500_000
 
 
-def _hw_consumers_pending(session, system):
+def hw_consumers_pending(session, expectations):
     """Expected consumers living in hardware that have not reached Done."""
     pending = []
-    for module_name, expected in system.expectations.items():
+    for module_name, expected in expectations.items():
         if expected is None or module_name not in session.hw_adapters:
             continue
         adapter = session.hw_adapters[module_name]
@@ -45,8 +45,8 @@ def _hw_consumers_pending(session, system):
     return pending
 
 
-def run_cosim(system, kernel):
-    """One fresh co-simulation of *system* on *kernel*; returns (session, result).
+def run_session_to_completion(session, expectations, max_time=COSIM_MAX_TIME):
+    """Run *session* until its expected consumers are done; returns the result.
 
     ``run_until_software_done`` only waits for software modules; an
     all-hardware network (with a functional expectation) may still be mid
@@ -54,18 +54,56 @@ def run_cosim(system, kernel):
     Keep running in slices until every expected hardware consumer reaches
     ``Done``, activity dries up, or the horizon is hit — the functional
     check then reports a genuinely stuck network instead of a network that
-    merely had not finished yet.
+    merely had not finished yet.  Shared with :mod:`repro.dse.validate`.
     """
-    session = CosimSession(system.build_model(), kernel=kernel,
-                           **system.cosim_params)
-    result = session.run_until_software_done(max_time=COSIM_MAX_TIME)
-    while (session.simulator.now < COSIM_MAX_TIME
-           and _hw_consumers_pending(session, system)):
+    result = session.run_until_software_done(max_time=max_time)
+    while (session.simulator.now < max_time
+           and hw_consumers_pending(session, expectations)):
         before = session.simulator.now
-        result = session.run(until=min(before + 10_000, COSIM_MAX_TIME))
+        result = session.run(until=min(before + 10_000, max_time))
         if session.simulator.now == before:
             break  # no activity left: the network really is stuck
+    return result
+
+
+def run_cosim(system, kernel):
+    """One fresh co-simulation of *system* on *kernel*; returns (session, result)."""
+    session = CosimSession(system.build_model(), kernel=kernel,
+                           **system.cosim_params)
+    result = run_session_to_completion(session, system.expectations)
     return session, result
+
+
+def check_functional_outcome(session, result, expectations,
+                             max_time=COSIM_MAX_TIME):
+    """Problem strings for the testkit expectation convention, unprefixed.
+
+    Checks every expected consumer's ``RECEIVED``/``TOTAL`` end state and
+    that every software module finished.  Shared between the conformance
+    oracle (which prefixes the system name) and DSE front validation.
+    """
+    problems = []
+    for module_name, expected in expectations.items():
+        if expected is None:
+            continue
+        end_state = _module_end_state(session, result, module_name)
+        if end_state.get("RECEIVED") != expected["words"]:
+            problems.append(
+                f"{module_name} received {end_state.get('RECEIVED')} words, "
+                f"expected {expected['words']}"
+            )
+        if end_state.get("TOTAL") != expected["total"]:
+            problems.append(
+                f"{module_name} total {end_state.get('TOTAL')}, "
+                f"expected {expected['total']}"
+            )
+    for module_name, finished in result.sw_finished.items():
+        if not finished:
+            problems.append(
+                f"software module {module_name} did not finish within "
+                f"{max_time} ns (state {result.sw_states[module_name]})"
+            )
+    return problems
 
 
 def cosim_fingerprint(session, result):
@@ -134,26 +172,11 @@ def check_cosim_conformance(system, kernels=("production", "reference")):
         ))
 
     session, result = sessions[kernels[0]]
-    for module_name, expected in system.expectations.items():
-        if expected is None:
-            continue
-        end_state = _module_end_state(session, result, module_name)
-        if end_state.get("RECEIVED") != expected["words"]:
-            problems.append(
-                f"{system.name}: {module_name} received "
-                f"{end_state.get('RECEIVED')} words, expected {expected['words']}"
-            )
-        if end_state.get("TOTAL") != expected["total"]:
-            problems.append(
-                f"{system.name}: {module_name} total {end_state.get('TOTAL')}, "
-                f"expected {expected['total']}"
-            )
-    for module_name, finished in result.sw_finished.items():
-        if not finished:
-            problems.append(
-                f"{system.name}: software module {module_name} did not finish "
-                f"within {COSIM_MAX_TIME} ns (state {result.sw_states[module_name]})"
-            )
+    problems.extend(
+        f"{system.name}: {problem}"
+        for problem in check_functional_outcome(session, result,
+                                                system.expectations)
+    )
     return problems
 
 

@@ -2,6 +2,11 @@
 
 import pytest
 
+#: The built-in platform set, pinned explicitly so registry changes made by
+#: other tests (custom platform registration) cannot leak into fixtures.
+ALL_PLATFORMS = ("microcoded", "multiproc", "pc_at_fpga", "unix_ipc")
+HW_PLATFORMS = ("microcoded", "multiproc", "pc_at_fpga")
+
 from repro.comm import handshake_channel
 from repro.core import SystemModel, SoftwareModule, HardwareModule
 from repro.core.service import Service, ServiceParam

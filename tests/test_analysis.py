@@ -111,3 +111,25 @@ class TestResponseLatency:
     def test_no_stimulus(self):
         report = check_response_latency([], [100])
         assert report.latency is None
+
+
+class TestStaticBoundaryTraffic:
+    def test_counts_port_touches_per_software_service_call(self):
+        from repro.analysis import static_boundary_traffic
+        from tests.conftest import make_producer_consumer_model
+
+        model = make_producer_consumer_model()
+        traffic = static_boundary_traffic(model)
+        # Only HostMod is software; its PUT view touches the handshake ports.
+        assert set(traffic) == {("HostMod", "HostPut")}
+        assert traffic[("HostMod", "HostPut")] >= 1
+
+    def test_software_names_override_follows_a_candidate_placement(self):
+        from repro.analysis import static_boundary_traffic
+        from tests.conftest import make_producer_consumer_model
+
+        model = make_producer_consumer_model()
+        all_hw = static_boundary_traffic(model, software_names=[])
+        assert all_hw == {}
+        flipped = static_boundary_traffic(model, software_names=["ServerMod"])
+        assert set(flipped) == {("ServerMod", "ServerGet")}

@@ -1,0 +1,104 @@
+"""Determinism and merge coverage of the area/timing estimator.
+
+The DSE cost model memoizes per-module estimates and sums/maxes them via
+:meth:`AreaTimingEstimate.merge`; both only make sense when the same FSMD
+always yields the identical estimate.
+"""
+
+from repro.core.module import HardwareModule
+from repro.cosyn.hls.estimate import AreaTimingEstimate, estimate_fsmd, estimate_module
+from repro.dse.cost import build_hw_fsmds
+from repro.ir import Assign, FsmBuilder, INT, var
+
+
+def make_compute_fsm(name="CALC"):
+    build = FsmBuilder(name)
+    build.variable("A", INT, 1)
+    build.variable("B", INT, 2)
+    build.variable("C", INT, 0)
+    with build.state("Work") as state:
+        state.go("More", actions=[Assign("C", var("A") * var("B") + var("C"))])
+    with build.state("More") as state:
+        state.go("Work", actions=[Assign("A", var("A") + 1),
+                                  Assign("B", var("B") - var("A"))])
+    return build.build(initial="Work")
+
+
+def make_fsmds(name="CALC"):
+    return build_hw_fsmds(HardwareModule("CalcMod", [make_compute_fsm(name)]))
+
+
+class TestAreaTimingEstimateMerge:
+    def test_merge_sums_area_and_maxes_critical_path(self):
+        left = AreaTimingEstimate("L", clbs_datapath=10, clbs_registers=4,
+                                  clbs_controller=6, clbs_interconnect=2,
+                                  critical_path_ns=30.0, flip_flops=20)
+        right = AreaTimingEstimate("R", clbs_datapath=1, clbs_registers=2,
+                                   clbs_controller=3, clbs_interconnect=4,
+                                   critical_path_ns=45.0, flip_flops=8)
+        merged = left.merge(right)
+        assert merged.name == "L+R"
+        assert merged.clbs_datapath == 11
+        assert merged.clbs_registers == 6
+        assert merged.clbs_controller == 9
+        assert merged.clbs_interconnect == 6
+        assert merged.clbs_total == left.clbs_total + right.clbs_total
+        assert merged.flip_flops == 28
+        assert merged.critical_path_ns == 45.0
+
+    def test_merge_is_commutative_on_totals(self):
+        (fsmd,) = make_fsmds()
+        first = estimate_fsmd(fsmd)
+        second = AreaTimingEstimate("other", clbs_datapath=5,
+                                    critical_path_ns=99.0, flip_flops=3)
+        ab, ba = first.merge(second), second.merge(first)
+        assert ab.clbs_total == ba.clbs_total
+        assert ab.flip_flops == ba.flip_flops
+        assert ab.critical_path_ns == ba.critical_path_ns
+
+    def test_merge_accepts_explicit_name(self):
+        left = AreaTimingEstimate("L")
+        assert left.merge(AreaTimingEstimate("R"), name="Both").name == "Both"
+
+    def test_merge_does_not_mutate_operands(self):
+        left = AreaTimingEstimate("L", clbs_datapath=10, critical_path_ns=30.0)
+        right = AreaTimingEstimate("R", clbs_datapath=1, critical_path_ns=45.0)
+        left.merge(right)
+        assert left.clbs_datapath == 10 and right.clbs_datapath == 1
+        assert left.critical_path_ns == 30.0
+
+
+class TestEstimateDeterminism:
+    def test_same_fsmd_yields_identical_estimate(self):
+        first = estimate_fsmd(make_fsmds()[0])
+        second = estimate_fsmd(make_fsmds()[0])
+        assert first.as_dict() == second.as_dict()
+
+    def test_estimate_module_is_deterministic(self):
+        totals = []
+        for _ in range(2):
+            total, per_process = estimate_module(make_fsmds(), "CalcMod")
+            assert total.name == "CalcMod"
+            assert len(per_process) == 1
+            totals.append(total.as_dict())
+        assert totals[0] == totals[1]
+
+    def test_estimate_module_merges_multiple_processes(self):
+        fsmds = make_fsmds("P1") + make_fsmds("P2")
+        total, per_process = estimate_module(fsmds, "TwoProc")
+        assert len(per_process) == 2
+        assert total.clbs_total == sum(e.clbs_total for e in per_process)
+        assert total.critical_path_ns == max(e.critical_path_ns
+                                             for e in per_process)
+
+    def test_dse_hardware_cost_equals_direct_estimate(self):
+        """The memoized DSE hardware cost is exactly the estimator's answer."""
+        from repro.dse.cost import CandidateEvaluator
+        from tests.conftest import make_producer_consumer_model
+
+        model = make_producer_consumer_model()
+        evaluator = CandidateEvaluator(model, ("pc_at_fpga",))
+        cached = evaluator.hardware_cost("ServerMod")
+        direct, _ = estimate_module(
+            build_hw_fsmds(model.module("ServerMod")), "ServerMod")
+        assert cached.as_dict() == direct.as_dict()

@@ -204,3 +204,45 @@ class TestFlowAndCoherence:
         assert "COHERENT" in report.report()
         table = report.as_table()
         assert "motor_position" in table
+
+
+class TestCosynthesisResultSerialization:
+    def test_as_dict_summarises_the_run(self, pc_at_cosynthesis):
+        _, model, platform, _, result = pc_at_cosynthesis
+        data = result.as_dict()
+        assert data["system"] == model.name
+        assert data["platform"] == platform.name
+        assert data["ok"] == result.ok
+        assert data["system_clock_ns"] == result.system_clock_ns()
+        assert data["total_clbs"] == result.total_clbs()
+        assert set(data["software"]) == set(result.software)
+        assert set(data["hardware"]) == set(result.hardware)
+        sw = data["software"]["DistributionMod"]
+        assert sw["metrics"]["code_size_bytes"] > 0
+        assert "program_text" not in sw
+        hw = data["hardware"]["SpeedControlMod"]
+        assert hw["estimate"]["clbs_total"] == \
+            result.hardware["SpeedControlMod"].estimate.clbs_total
+        assert hw["fits_device"] is True
+
+    def test_as_dict_include_text_carries_the_sources(self, pc_at_cosynthesis):
+        *_, result = pc_at_cosynthesis
+        data = result.as_dict(include_text=True)
+        assert "void" in data["software"]["DistributionMod"]["program_text"]
+        assert "entity" in data["hardware"]["SpeedControlMod"]["behavioural_vhdl"].lower()
+
+    def test_to_json_is_deterministic_and_round_trips(self, pc_at_cosynthesis):
+        import json
+
+        *_, result = pc_at_cosynthesis
+        text = result.to_json()
+        assert text == result.to_json()
+        parsed = json.loads(text)
+        assert parsed["system"] == result.target.model.name
+
+    def test_to_json_matches_fresh_identical_run(self):
+        model, _ = build_system()
+        platform = get_platform("pc_at_fpga")
+        first = CosynthesisFlow(model, platform).run().to_json()
+        second = CosynthesisFlow(build_system()[0], platform).run().to_json()
+        assert first == second

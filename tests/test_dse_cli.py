@@ -1,0 +1,92 @@
+"""Tests of the ``python -m repro.dse`` command-line entry."""
+
+import json
+
+from repro.dse.__main__ import main
+
+
+class TestDseCli:
+    def test_quick_run_writes_a_valid_report(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        exit_code = main(["--quick", "--out", str(out)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "design-space exploration" in captured.out
+        assert "Pareto front" in captured.out
+        report = json.loads(out.read_text())
+        assert report["mode"] == "exhaustive"
+        assert report["feasible"] >= 1
+        assert report["front"]
+        assert report["validation"] is not None
+        assert all(item["ok"] for item in report["validation"])
+        for entry in report["front"]:
+            assert entry["cosynthesis"]["ok"] is True
+
+    def test_motor_model_exploration(self, capsys):
+        exit_code = main(["--model", "motor"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "AdaptiveMotorController" in captured.out
+        # Speed Control has three processes: pinned to hardware, so it
+        # appears in every front placement.
+        assert "SpeedControlMod" in captured.out
+
+    def test_motor_model_validation_attaches_the_plant(self, tmp_path):
+        out = tmp_path / "motor.json"
+        exit_code = main(["--model", "motor", "--validate",
+                          "--out", str(out)])
+        assert exit_code == 0
+        report = json.loads(out.read_text())
+        assert report["validation"]
+        assert all(item["ok"] for item in report["validation"])
+
+    def test_full_scores_flag_includes_every_candidate(self, tmp_path):
+        out = tmp_path / "full.json"
+        assert main(["--quick", "--full-scores", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert len(report["scores"]) == report["evaluated"]
+
+    def test_pin_flag_restricts_the_space(self, tmp_path):
+        out = tmp_path / "pinned.json"
+        exit_code = main(["--model", "testkit", "--networks", "1",
+                          "--mode", "exhaustive",
+                          "--pin", "Prod0=sw", "--out", str(out)])
+        assert exit_code == 0
+        report = json.loads(out.read_text())
+        assert "Prod0" in report["pinned_sw"]
+        for entry in report["front"]:
+            assert "Prod0" not in entry["hw_modules"]
+
+    def test_bad_pin_is_rejected_before_building_the_model(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pin", "Prod0=fpga"])
+        assert excinfo.value.code == 2
+        assert "expects MODULE=sw or MODULE=hw" in capsys.readouterr().err
+
+    def test_testkit_only_flags_are_rejected_for_the_motor_model(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--model", "motor", "--seed", "7"])
+        assert excinfo.value.code == 2
+        assert "only apply to --model testkit" in capsys.readouterr().err
+
+    def test_invalid_networks_value_is_a_clean_error(self, capsys):
+        assert main(["--networks", "0"]) == 2
+        assert "networks must be >= 1" in capsys.readouterr().err
+
+    def test_quick_respects_an_explicit_model(self, capsys):
+        assert main(["--quick", "--model", "motor"]) == 0
+        captured = capsys.readouterr()
+        assert "AdaptiveMotorController" in captured.out
+        assert "exhaustive mode" in captured.out
+
+    def test_workers_flag_matches_serial_output(self, tmp_path):
+        serial, parallel = tmp_path / "serial.json", tmp_path / "parallel.json"
+        base = ["--model", "testkit", "--networks", "2",
+                "--mode", "exhaustive", "--full-scores"]
+        assert main(base + ["--out", str(serial)]) == 0
+        assert main(base + ["--workers", "2", "--out", str(parallel)]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()

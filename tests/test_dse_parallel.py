@@ -1,0 +1,38 @@
+"""Parallel candidate evaluation must be invisible in the results: a pool of
+N workers yields byte-identical reports to a serial run."""
+
+from repro.dse import DesignSpaceExplorer
+from repro.testkit import generate_system
+
+from tests.conftest import ALL_PLATFORMS, make_producer_consumer_model
+
+
+def _report_bytes(model, workers, **explore_kwargs):
+    explorer = DesignSpaceExplorer(model, platforms=ALL_PLATFORMS)
+    report = explorer.explore(workers=workers, **explore_kwargs)
+    return report.to_json(include_scores=True)
+
+
+class TestParallelEvaluation:
+    def test_exhaustive_serial_and_parallel_reports_are_byte_identical(self):
+        serial = _report_bytes(make_producer_consumer_model(), 1,
+                               mode="exhaustive")
+        for workers in (2, 3):
+            parallel = _report_bytes(make_producer_consumer_model(), workers,
+                                     mode="exhaustive")
+            assert parallel == serial
+
+    def test_heuristic_serial_and_parallel_reports_are_byte_identical(self):
+        system = generate_system(1, networks=4)
+        serial = _report_bytes(system.build_model(), 1,
+                               mode="heuristic", seed=7, restarts=2)
+        parallel = _report_bytes(system.build_model(), 2,
+                                 mode="heuristic", seed=7, restarts=2)
+        assert parallel == serial
+
+    def test_parallel_run_reports_same_front_labels(self):
+        model = generate_system(0, networks=2).build_model()
+        explorer = DesignSpaceExplorer(model, platforms=ALL_PLATFORMS)
+        report = explorer.explore(mode="exhaustive", workers=2)
+        assert [s.candidate.label() for s in report.front]
+        assert all(s.feasible for s in report.front)

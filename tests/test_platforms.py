@@ -11,8 +11,10 @@ from repro.platforms import (
     XC4005,
     XC4010,
     available_platforms,
+    builtin_platforms,
     get_platform,
     register_platform,
+    unregister_platform,
 )
 from repro.platforms.base import BusModel, ProcessorModel
 from repro.platforms.fpga import operator_clbs, operator_delay_ns
@@ -113,8 +115,11 @@ class TestPlatforms:
     def test_register_custom_platform(self):
         register_platform("custom_test_platform", lambda: PcAtFpgaPlatform(name="custom_test_platform"),
                           replace=True)
-        platform = get_platform("custom_test_platform")
-        assert platform.name == "custom_test_platform"
+        try:
+            platform = get_platform("custom_test_platform")
+            assert platform.name == "custom_test_platform"
+        finally:
+            unregister_platform("custom_test_platform")
 
     def test_pc_at_defaults_match_the_paper(self):
         platform = PcAtFpgaPlatform()
@@ -159,3 +164,63 @@ class TestPlatforms:
         summary = PcAtFpgaPlatform().summary()
         assert summary["platform"] == "pc_at_fpga"
         assert "i386" in summary["processor"]
+
+
+class TestRegistrySemantics:
+    """The replace/shadow contract the DSE platform sweep relies on."""
+
+    def _custom(self, name="shadow_test"):
+        return lambda: UnixIpcPlatform(name=name)
+
+    def test_builtin_names_are_stable(self):
+        assert builtin_platforms() == [
+            "microcoded", "multiproc", "pc_at_fpga", "unix_ipc",
+        ]
+
+    def test_reusing_a_builtin_name_requires_replace(self):
+        with pytest.raises(SynthesisError, match="built-in.*replace=True"):
+            register_platform("unix_ipc", self._custom())
+
+    def test_reusing_a_custom_name_requires_replace(self):
+        register_platform("shadow_test", self._custom())
+        try:
+            with pytest.raises(SynthesisError, match="custom.*replace=True"):
+                register_platform("shadow_test", self._custom())
+        finally:
+            unregister_platform("shadow_test")
+
+    def test_replace_shadows_a_builtin_and_unregister_restores_it(self):
+        register_platform("unix_ipc", lambda: UnixIpcPlatform(
+            name="unix_ipc", cpu_clock_hz=120_000_000), replace=True)
+        try:
+            assert get_platform("unix_ipc").processor.clock_hz == 120_000_000
+            # the shadow does not remove the name from the listing
+            assert "unix_ipc" in available_platforms()
+        finally:
+            unregister_platform("unix_ipc")
+        assert get_platform("unix_ipc").processor.clock_hz == 60_000_000
+
+    def test_replace_true_overwrites_a_custom_factory(self):
+        register_platform("shadow_test", self._custom())
+        register_platform(
+            "shadow_test", lambda: UnixIpcPlatform(name="shadow_test",
+                                                   cpu_clock_hz=1_000_000),
+            replace=True)
+        try:
+            assert get_platform("shadow_test").processor.clock_hz == 1_000_000
+        finally:
+            unregister_platform("shadow_test")
+
+    def test_unregister_rejects_builtins_and_unknown_names(self):
+        with pytest.raises(SynthesisError, match="built-in"):
+            unregister_platform("pc_at_fpga")
+        with pytest.raises(SynthesisError, match="no custom platform"):
+            unregister_platform("never_registered")
+
+    def test_custom_platform_joins_available_and_the_dse_sweep_axis(self):
+        register_platform("shadow_test", self._custom())
+        try:
+            assert "shadow_test" in available_platforms()
+        finally:
+            unregister_platform("shadow_test")
+        assert "shadow_test" not in available_platforms()

@@ -102,3 +102,49 @@ class TestKit:
             for system in systems
             for expected in system.expectations.values()
         )
+
+
+class TestWorkloadSourceHook:
+    """The generator doubles as an oracle-free workload source for DSE."""
+
+    def test_generate_models_yields_count_systems(self):
+        from repro.testkit import generate_models
+
+        systems = list(generate_models(3, seed_base=10))
+        assert [s.seed for s in systems] == [10, 11, 12]
+        assert all(s.name == f"system-{s.seed}" for s in systems)
+
+    def test_networks_override_scales_the_model(self):
+        from repro.testkit import generate_models
+
+        (big,) = generate_models(1, networks=9)
+        model = big.build_model()
+        assert len(model.modules) >= 18
+        assert len(model.comm_units) >= 9
+
+    def test_networks_override_is_deterministic(self):
+        left = generate_system(5, networks=4).build_model()
+        right = generate_system(5, networks=4).build_model()
+        assert left.topology() == right.topology()
+
+    def test_sw_only_lists_exactly_the_relays(self):
+        for seed in range(8):
+            system = generate_system(seed, networks=4)
+            model = system.build_model()
+            relays = sorted(name for name in model.modules
+                            if name.startswith("Relay"))
+            assert sorted(system.sw_only) == relays
+
+    def test_emit_models_cli_prints_json_without_oracles(self, capsys):
+        import json
+
+        from repro.testkit.__main__ import main
+
+        assert main(["--emit-models", "2", "--networks", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        for index, line in enumerate(lines):
+            record = json.loads(line)
+            assert record["name"] == f"system-{index}"
+            assert record["modules"] >= 6
+            assert "topology" in record and "cosim_params" in record

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-seed conformance conformance-quick dse dse-quick quickstart
+.PHONY: test bench bench-quick bench-seed conformance conformance-quick dse dse-quick sweep sweep-quick quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +35,16 @@ dse:
 # < 30 s exhaustive smoke sweep (also exercised by the test suite and CI).
 dse-quick:
 	$(PYTHON) -m repro.dse --quick
+
+# Batched scenario-sweep service: ≥100 generated jobs (kernel scenarios,
+# cosim runs, cosyn flows) on 4 workers with a warm artefact cache.
+sweep:
+	$(PYTHON) -m repro.sweep --cache-dir .sweep-cache --out sweep_report.json
+
+# < 30 s smoke batch asserting serial/parallel report parity and a
+# warm-cache re-run with zero re-synthesis (also run by CI).
+sweep-quick:
+	$(PYTHON) -m repro.sweep --quick --selfcheck --workers 2
 
 quickstart:
 	$(PYTHON) examples/quickstart.py

@@ -40,6 +40,26 @@ class HardwareAdapter:
         self.simulator.add_clocked_process(f"{self.module.name}_clked",
                                            on_posedge, self.clock)
 
+    # ----------------------------------------------------------- state access
+
+    def capture_state(self):
+        """Picklable run-time state (FSM positions, counters, services)."""
+        return {
+            "cycles": self.cycles,
+            "instances": {name: instance.capture_state()
+                          for name, instance in self.instances.items()},
+            "services": self.registry.capture_state(),
+            "accessor": (self.accessor.reads, self.accessor.writes),
+        }
+
+    def restore_state(self, state):
+        """Overwrite run-time state with a :meth:`capture_state` copy."""
+        self.cycles = state["cycles"]
+        for name, instance_state in state["instances"].items():
+            self.instances[name].restore_state(instance_state)
+        self.registry.restore_state(state["services"])
+        self.accessor.reads, self.accessor.writes = state["accessor"]
+
     def process_state(self, process_name):
         """Current FSM state of one named process of the module."""
         return self.instances[process_name].current

@@ -34,16 +34,40 @@ class ServiceInstance:
                 f"arguments, expected {len(params)}"
             )
         now = self.time_fn()
+        # The completed-invocation count identifies the in-flight invocation:
+        # it is constant across the steps of one call and advances on
+        # completion, so two back-to-back calls in one delta cycle open two
+        # distinct trace records instead of merging.
+        token = self.invocations
         if self.trace is not None:
             self.trace.begin(self.caller, self.service.name, self.unit_name, now,
-                             arg_values)
+                             arg_values, token=token)
         self.total_steps += 1
         result = self.instance.step(dict(zip(params, arg_values)))
         if result.done:
             self.invocations += 1
             if self.trace is not None:
-                self.trace.complete(self.caller, self.service.name, now, result.result)
+                self.trace.complete(self.caller, self.service.name, now,
+                                    result.result, token=token)
         return result.done, result.result
+
+    # ----------------------------------------------------------- state access
+
+    def capture_state(self):
+        """Picklable run-time state (service FSM position and counters)."""
+        return {
+            "instance": self.instance.capture_state(),
+            "invocations": self.invocations,
+            "total_steps": self.total_steps,
+            "accessor": (self.accessor.reads, self.accessor.writes),
+        }
+
+    def restore_state(self, state):
+        """Overwrite run-time state with a :meth:`capture_state` copy."""
+        self.instance.restore_state(state["instance"])
+        self.invocations = state["invocations"]
+        self.total_steps = state["total_steps"]
+        self.accessor.reads, self.accessor.writes = state["accessor"]
 
     def __repr__(self):
         return (
@@ -81,6 +105,15 @@ class ServiceRegistry:
 
     def instances(self):
         return list(self._instances.values())
+
+    def capture_state(self):
+        """Per-service run-time state of every instance (checkpointing)."""
+        return {name: instance.capture_state()
+                for name, instance in self._instances.items()}
+
+    def restore_state(self, state):
+        for name, instance_state in state.items():
+            self.get(name).restore_state(instance_state)
 
     def __len__(self):
         return len(self._instances)

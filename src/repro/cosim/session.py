@@ -207,16 +207,24 @@ class CosimSession:
             period = module.activation_period or self.sw_activation_period
 
             def activations(executor=executor, period=period):
-                # One Timeout reused across iterations: wait conditions are
-                # immutable and the kernel copies what it needs on suspend.
+                # Act-first loop with no side effects before the first
+                # yield: a fresh generator stepped once behaves exactly
+                # like the suspended one being resumed, so the process is
+                # rearmable and sessions survive save()/restore().  The
+                # first activation (one period after start) comes from the
+                # kernel-armed first wait, and the single Timeout is reused
+                # across iterations (wait conditions are immutable; the
+                # kernel copies what it needs on suspend).
                 tick = Timeout(period)
                 while True:
-                    yield tick
                     if executor.finished:
                         return
                     executor.activate()
+                    yield tick
 
-            self.simulator.add_process(f"{module.name}_activation", activations)
+            self.simulator.add_process(f"{module.name}_activation", activations,
+                                       first_wait=Timeout(period),
+                                       rearmable=True)
 
     # -------------------------------------------------------------------- run
 
@@ -227,10 +235,20 @@ class CosimSession:
         return CosimResult(self, end_time)
 
     def run_until_software_done(self, max_time=10_000_000, check_every=10_000):
-        """Run until every software module finished (or *max_time* is hit)."""
+        """Run until every software module finished (or *max_time* is hit).
+
+        The completion check happens on an **absolute** time grid (the
+        multiples of *check_every*), not relative to where the run started:
+        a session resumed from a checkpoint therefore checks at exactly the
+        instants an uninterrupted run would, which keeps the reported end
+        time — and thus the whole result — identical.
+        """
         self.build()
         while self.simulator.now < max_time:
-            target = min(self.simulator.now + check_every, max_time)
+            target = min(
+                ((self.simulator.now // check_every) + 1) * check_every,
+                max_time,
+            )
             self.simulator.run(until=target)
             if all(executor.finished for executor in self.sw_executors.values()):
                 break
@@ -238,6 +256,117 @@ class CosimSession:
                 # No more activity is scheduled: nothing will ever finish.
                 break
         return CosimResult(self, self.simulator.now)
+
+    # ---------------------------------------------------------- save / resume
+
+    def save(self):
+        """Capture the whole session as a picklable checkpoint dict.
+
+        The checkpoint holds the kernel snapshot plus every piece of
+        backplane state the kernel does not own: controller and module FSM
+        positions, software-executor and hardware-adapter counters, service
+        instances, the service-call trace, the waveform recorder and any
+        attached monitors.  Taken between runs; an unbuilt session is built
+        (and started) first.
+
+        Restoring (:meth:`restore`) requires a session constructed from an
+        **equal model with equal parameters** — same kernel, clock and
+        activation periods, policy, environment hooks and monitors — so the
+        rebuilt structure matches; the resumed simulation then continues
+        byte-identically to an uninterrupted run.
+        """
+        self.build()
+        kernel_snapshot = self.simulator.snapshot()
+        return {
+            "format": 1,
+            "system": self.model.name,
+            "kernel": self.kernel,
+            "clock_period": self.clock_period,
+            "sw_activation_period": self.sw_activation_period,
+            "policy": self.activation_policy.name,
+            "simulator": kernel_snapshot,
+            "controllers": {
+                key: {
+                    "instance": instance.capture_state(),
+                    "accessor": (instance.ports.reads, instance.ports.writes),
+                }
+                for key, instance in self.controller_instances.items()
+            },
+            "sw_executors": {name: executor.capture_state()
+                             for name, executor in self.sw_executors.items()},
+            "hw_adapters": {name: adapter.capture_state()
+                            for name, adapter in self.hw_adapters.items()},
+            "trace": self.trace.capture_state(),
+            "waveform": self.waveform.capture_state(),
+            "monitors": {monitor.name: monitor.capture_state()
+                         for monitor in self.monitors},
+        }
+
+    def restore(self, checkpoint):
+        """Reset this session to a :meth:`save` checkpoint; returns self.
+
+        The session must have been constructed from the same model with the
+        same parameters (checked); it is built if needed, the kernel state
+        is restored, and every backplane component is overwritten with its
+        checkpointed state.  ``run()`` then resumes exactly where the saved
+        session stopped.
+        """
+        if checkpoint.get("format") != 1:
+            raise SimulationError(
+                f"unsupported session checkpoint format "
+                f"{checkpoint.get('format')!r}"
+            )
+        mismatches = [
+            f"{what}: checkpoint has {theirs!r}, session has {ours!r}"
+            for what, theirs, ours in (
+                ("system", checkpoint["system"], self.model.name),
+                ("kernel", checkpoint["kernel"], self.kernel),
+                ("clock_period", checkpoint["clock_period"], self.clock_period),
+                ("sw_activation_period", checkpoint["sw_activation_period"],
+                 self.sw_activation_period),
+                ("activation policy", checkpoint["policy"],
+                 self.activation_policy.name),
+            )
+            if theirs != ours
+        ]
+        if mismatches:
+            raise SimulationError(
+                "checkpoint does not match this session — "
+                + "; ".join(mismatches)
+            )
+        self.build()
+        # Validate every membership BEFORE mutating anything: a restore
+        # that raises must leave the session exactly as built, never in a
+        # half-restored hybrid of checkpoint and fresh state.
+        monitors = {monitor.name: monitor for monitor in self.monitors}
+        for what, theirs, ours in (
+            ("controllers", checkpoint["controllers"],
+             self.controller_instances),
+            ("software executors", checkpoint["sw_executors"],
+             self.sw_executors),
+            ("hardware adapters", checkpoint["hw_adapters"],
+             self.hw_adapters),
+            ("monitors", checkpoint["monitors"], monitors),
+        ):
+            if set(theirs) != set(ours):
+                raise SimulationError(
+                    f"checkpoint {what} do not match this session's: "
+                    f"{sorted(theirs)} vs {sorted(ours)}"
+                )
+        self.simulator.restore(checkpoint["simulator"])
+        for key, state in checkpoint["controllers"].items():
+            instance = self.controller_instances[key]
+            instance.restore_state(state["instance"])
+            instance.ports.reads, instance.ports.writes = state["accessor"]
+        for name, state in checkpoint["sw_executors"].items():
+            self.sw_executors[name].restore_state(state)
+        for name, state in checkpoint["hw_adapters"].items():
+            self.hw_adapters[name].restore_state(state)
+        self.trace.restore_state(checkpoint["trace"])
+        self.waveform.restore_state(checkpoint["waveform"])
+        for name, state in checkpoint["monitors"].items():
+            monitors[name].restore_state(state)
+        return self
 
     # ------------------------------------------------------------------ query
 

@@ -64,6 +64,24 @@ class SoftwareExecutor:
         """Current values of the module FSM's variables."""
         return dict(self.instance.env)
 
+    # ----------------------------------------------------------- state access
+
+    def capture_state(self):
+        """Picklable run-time state (FSM position, counters, services)."""
+        return {
+            "instance": self.instance.capture_state(),
+            "activations": self.activations,
+            "transitions": self.transitions,
+            "services": self.registry.capture_state(),
+        }
+
+    def restore_state(self, state):
+        """Overwrite run-time state with a :meth:`capture_state` copy."""
+        self.instance.restore_state(state["instance"])
+        self.activations = state["activations"]
+        self.transitions = state["transitions"]
+        self.registry.restore_state(state["services"])
+
     def __repr__(self):
         return (
             f"SoftwareExecutor({self.module.name}, state={self.current_state}, "

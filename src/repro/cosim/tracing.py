@@ -49,9 +49,17 @@ class ServiceCallTrace:
         self.records = []
         self._open = {}
 
-    def begin(self, caller, service, unit, time, args=()):
-        """Record the first step of an invocation (idempotent while pending)."""
-        key = (caller, service)
+    def begin(self, caller, service, unit, time, args=(), token=None):
+        """Record one step of an invocation (idempotent while pending).
+
+        *token* distinguishes successive invocations of the same service by
+        the same caller: the :class:`~repro.cosim.services.ServiceInstance`
+        passes its completed-invocation count, so two back-to-back calls in
+        one delta cycle open two records instead of merging into one (which
+        would silently skew ``mean_latency``).  Without a token the legacy
+        ``(caller, service)`` keying applies.
+        """
+        key = (caller, service, token)
         if key in self._open:
             record = self._open[key]
             record.steps += 1
@@ -62,9 +70,12 @@ class ServiceCallTrace:
         self._open[key] = record
         return record
 
-    def complete(self, caller, service, time, result=None):
-        """Mark the pending invocation of (*caller*, *service*) as completed."""
-        key = (caller, service)
+    def complete(self, caller, service, time, result=None, token=None):
+        """Mark the pending invocation of (*caller*, *service*) as completed.
+
+        *token* must match the one passed to :meth:`begin`.
+        """
+        key = (caller, service, token)
         record = self._open.pop(key, None)
         if record is None:
             return None
@@ -96,6 +107,43 @@ class ServiceCallTrace:
         if not records:
             return None
         return sum(record.latency for record in records) / len(records)
+
+    # ----------------------------------------------------------- state access
+
+    def capture_state(self):
+        """Picklable copy of every record plus the pending-invocation index."""
+        records = [
+            {
+                "caller": record.caller,
+                "service": record.service,
+                "unit": record.unit,
+                "start_time": record.start_time,
+                "end_time": record.end_time,
+                "args": tuple(record.args),
+                "result": record.result,
+                "steps": record.steps,
+            }
+            for record in self.records
+        ]
+        index = {id(record): position
+                 for position, record in enumerate(self.records)}
+        open_keys = [(key, index[id(record)])
+                     for key, record in self._open.items()]
+        return {"records": records, "open": open_keys}
+
+    def restore_state(self, state):
+        """Overwrite the trace with a :meth:`capture_state` copy."""
+        self.records = []
+        for data in state["records"]:
+            record = ServiceCallRecord(data["caller"], data["service"],
+                                       data["unit"], data["start_time"],
+                                       data["args"])
+            record.end_time = data["end_time"]
+            record.result = data["result"]
+            record.steps = data["steps"]
+            self.records.append(record)
+        self._open = {tuple(key): self.records[position]
+                      for key, position in state["open"]}
 
     def services_seen(self):
         return sorted({record.service for record in self.records})

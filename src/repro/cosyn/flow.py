@@ -18,6 +18,7 @@ printable report — the co-synthesis half of the paper's Figure 1.
 import json
 
 from repro.core.validation import validate_model
+from repro.utils.canonical import content_digest
 from repro.cosyn.sw_synthesis import synthesize_software
 from repro.cosyn.hw_synthesis import synthesize_hardware
 from repro.cosyn.target import TargetArchitecture
@@ -127,6 +128,16 @@ class CosynthesisResult:
         """Deterministic JSON rendering of :meth:`as_dict`."""
         return json.dumps(self.as_dict(include_text=include_text),
                           indent=indent, sort_keys=True)
+
+    def digest(self, include_text=True):
+        """sha256 content digest of :meth:`as_dict`.
+
+        Used by the sweep service to fingerprint synthesis artefacts:
+        equal runs digest equally, so a cached artefact can stand in for a
+        re-synthesis byte-for-byte (*include_text* defaults to True so the
+        emitted C/VHDL sources are part of the identity).
+        """
+        return content_digest(self.as_dict(include_text=include_text))
 
     def communication_binding_table(self):
         rows = [(port, hex(address) if isinstance(address, int) else address)

@@ -58,15 +58,20 @@ class _GenWait:
     wait ``done``; stale references left in the other indexes are skipped
     and dropped when next encountered (*lazy invalidation*), so cancelling
     a wait never requires searching a heap or a list.
+
+    *seq* records the suspension order: it breaks deadline ties on the
+    timeout heap and lets :meth:`Simulator.snapshot` serialise the waiter
+    index in an order :meth:`Simulator.restore` can rebuild exactly.
     """
 
-    __slots__ = ("process", "signals", "resume_at", "done")
+    __slots__ = ("process", "signals", "resume_at", "done", "seq")
 
-    def __init__(self, process, signals=(), resume_at=None):
+    def __init__(self, process, signals=(), resume_at=None, seq=0):
         self.process = process
         self.signals = tuple(signals)
         self.resume_at = resume_at
         self.done = False
+        self.seq = seq
 
 
 class Simulator:
@@ -86,6 +91,8 @@ class Simulator:
     number of signals that changed and waits that matured, independent of
     how many processes are registered or suspended.
     """
+
+    kernel_name = "production"
 
     def __init__(self, max_deltas=10_000):
         self.max_deltas = max_deltas
@@ -116,6 +123,7 @@ class Simulator:
         self._next_time_cache = None
         self._next_time_dirty = True
         self._started = False
+        self._in_run = False
         self.statistics = {
             "delta_cycles": 0,
             "process_runs": 0,
@@ -131,6 +139,7 @@ class Simulator:
             raise SimulationError(f"duplicate signal name {name!r}")
         signal = Signal(name, init=init, dtype=dtype)
         self.signals[name] = signal
+        self._announce_signal(signal)
         return signal
 
     def register_signal(self, signal):
@@ -138,13 +147,37 @@ class Simulator:
         if signal.name in self.signals:
             raise SimulationError(f"duplicate signal name {signal.name!r}")
         self.signals[signal.name] = signal
+        self._announce_signal(signal)
         return signal
 
-    def add_process(self, name, func, sensitivity=(), initial_run=True):
-        """Register a process; *func* is a callable or generator function."""
+    def _announce_signal(self, signal):
+        """Tell started recorders about a late-registered signal.
+
+        Recorders pin a signal's initial value at :meth:`start`; a signal
+        registered afterwards would otherwise be assumed to start at 0 in
+        ``value_at``/``count_pulses``/``edge_times``.
+        """
+        if not self._started:
+            return
+        for recorder in self.recorders:
+            register = getattr(recorder, "register", None)
+            if register is not None:
+                register(signal)
+
+    def add_process(self, name, func, sensitivity=(), initial_run=True,
+                    first_wait=None, rearmable=False):
+        """Register a process; *func* is a callable or generator function.
+
+        *first_wait* parks a generator process on a wait condition at
+        simulation start instead of running it (implies
+        ``initial_run=False``); *rearmable* declares the generator safe for
+        :meth:`restore` re-suspension — see :class:`Process`.
+        """
         if name in self.processes:
             raise SimulationError(f"duplicate process name {name!r}")
-        process = Process(name, func, sensitivity=sensitivity, initial_run=initial_run)
+        process = Process(name, func, sensitivity=sensitivity,
+                          initial_run=initial_run, first_wait=first_wait,
+                          rearmable=rearmable)
         self.processes[name] = process
         for signal in process.sensitivity:
             self._sensitivity.setdefault(signal.name, {})[process.name] = None
@@ -174,15 +207,19 @@ class Simulator:
         clock = self.add_signal(name, init=start_value)
         half = period // 2
 
+        # Act-first loop with no prologue and no loop-carried frame state:
+        # the clock's whole state is the signal value, so the process is
+        # rearmable and clocks survive snapshot/restore.  A start delay is
+        # expressed as the kernel-armed first wait, not as frame state.
         def toggler():
-            if start_delay:
-                yield Timeout(start_delay)
             tick = Timeout(half)
             while True:
                 self.schedule(clock, 1 - clock.value, 0)
                 yield tick
 
-        self.add_process(f"{name}_gen", toggler)
+        first_wait = Timeout(start_delay) if start_delay else None
+        self.add_process(f"{name}_gen", toggler, first_wait=first_wait,
+                         rearmable=True)
         return clock
 
     def add_recorder(self, recorder):
@@ -222,7 +259,9 @@ class Simulator:
         runnable = []
         for process in self.processes.values():
             process.start()
-            if process.initial_run:
+            if process.first_wait is not None:
+                self._suspend(process, process.first_wait)
+            elif process.initial_run:
                 runnable.append(process)
         self._run_processes(runnable)
         self._drain_deltas()
@@ -238,19 +277,23 @@ class Simulator:
             until = max_time
         if not self._started:
             self._start()
-        while True:
-            next_time = self._next_activity_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                self.now = until
-                break
-            self.now = next_time
-            self.statistics["time_points"] += 1
-            self._begin_time_point()
-            self._drain_deltas()
-            if until is not None and self.now >= until:
-                break
+        self._in_run = True
+        try:
+            while True:
+                next_time = self._next_activity_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                self.now = next_time
+                self.statistics["time_points"] += 1
+                self._begin_time_point()
+                self._drain_deltas()
+                if until is not None and self.now >= until:
+                    break
+        finally:
+            self._in_run = False
         return self.now
 
     def run_for(self, duration):
@@ -446,28 +489,203 @@ class Simulator:
         """
         if condition is None:
             return
+        seq = next(self._seq)
         if isinstance(condition, Timeout):
-            wait = _GenWait(process, resume_at=self.now + condition.delay)
+            wait = _GenWait(process, resume_at=self.now + condition.delay, seq=seq)
         elif isinstance(condition, Delta):
-            wait = _GenWait(process, resume_at=self.now)
+            wait = _GenWait(process, resume_at=self.now, seq=seq)
         elif isinstance(condition, SignalChange):
             resume_at = None
             if condition.timeout is not None:
                 resume_at = self.now + condition.timeout
-            wait = _GenWait(process, signals=condition.signals, resume_at=resume_at)
+            wait = _GenWait(process, signals=condition.signals,
+                            resume_at=resume_at, seq=seq)
         else:  # pragma: no cover - Process.step already validates
             raise SimulationError(f"unknown wait condition {condition!r}")
+        self._register_wait(wait)
+
+    def _register_wait(self, wait):
+        """Index a wait under its signals and, with a deadline, on the heap."""
         for signal in wait.signals:
             self._waiters.setdefault(id(signal), []).append(wait)
         if wait.resume_at is not None:
             heapq.heappush(
-                self._timeout_heap, (wait.resume_at, next(self._seq), wait)
+                self._timeout_heap, (wait.resume_at, wait.seq, wait)
             )
             self._next_time_dirty = True
 
     def _check_monitors(self):
         for monitor in self.monitors:
             monitor.check(self)
+
+    # ------------------------------------------------------- snapshot/restore
+
+    def snapshot(self):
+        """Capture the kernel's complete state as a picklable dict.
+
+        The snapshot covers simulation time, statistics, every signal's
+        state, every pending future transaction, the timeout heap, the
+        per-signal waiter index and every process's counters — everything
+        the kernel owns.  It is taken **between** :meth:`run` calls (never
+        from inside a running process); an unstarted simulator is started
+        first so time-0 activity is part of the captured state.
+
+        Generator *frames* are not serialisable; a suspended generator is
+        captured as its pending wait, which :meth:`restore` re-arms on a
+        fresh generator instance.  That round-trip is exact only for
+        processes registered ``rearmable=True`` (act-first loops whose
+        state lives in signals or captured objects) — restore refuses
+        anything else rather than resume it wrongly.
+        """
+        if self._in_run:
+            raise SimulationError(
+                "snapshot() must be taken between run() calls, "
+                "not from inside a running process"
+            )
+        if not self._started:
+            self._start()
+        return {
+            "format": 1,
+            "kernel": self.kernel_name,
+            "now": self.now,
+            "delta": self.delta,
+            "statistics": dict(self.statistics),
+            # Zero-delay transactions injected between run() calls (a
+            # testbench poke) are pending work, not yet signal state.
+            "delta_queue": [(signal.name, value)
+                            for signal, value in self._delta_queue],
+            "signal_order": list(self.signals),
+            "signals": {name: signal.capture_state()
+                        for name, signal in self.signals.items()},
+            "process_order": list(self.processes),
+            "processes": {
+                name: {"finished": process.finished,
+                       "run_count": process.run_count}
+                for name, process in self.processes.items()
+            },
+            "pending": self._snapshot_pending(),
+        }
+
+    def restore(self, snapshot):
+        """Reset this simulator to a :meth:`snapshot`'s state and return it.
+
+        The target must have the **same structure** as the snapshotted
+        simulator: identical signal and process registrations in identical
+        order (typically a fresh build of the same scenario, or the very
+        simulator the snapshot came from).  Every suspended generator wait
+        in the snapshot is re-armed on a fresh generator, which requires
+        the process to be rearmable; waveform recorders are left alone
+        (their history is owned by whoever owns the recorder — see
+        ``CosimSession.save``).
+        """
+        if self._in_run:
+            raise SimulationError(
+                "restore() must happen between run() calls, "
+                "not from inside a running process"
+            )
+        if snapshot.get("format") != 1:
+            raise SimulationError(
+                f"unsupported kernel snapshot format {snapshot.get('format')!r}"
+            )
+        if snapshot["signal_order"] != list(self.signals):
+            raise SimulationError(
+                "snapshot does not match this simulator: different signal "
+                "registrations"
+            )
+        if snapshot["process_order"] != list(self.processes):
+            raise SimulationError(
+                "snapshot does not match this simulator: different process "
+                "registrations"
+            )
+        suspended = {entry["process"] for entry in snapshot["pending"]["waits"]}
+        for name in suspended:
+            process = self.processes[name]
+            if not process.restorable:
+                raise SimulationError(
+                    f"process {name!r} is a non-rearmable generator: its "
+                    "suspended frame cannot be rebuilt from a snapshot "
+                    "(register act-first loops with rearmable=True)"
+                )
+        if not self._started:
+            # Start recorders so they know their signals and pin initial
+            # values; initial process runs are NOT executed — their effects
+            # are already part of the snapshotted state.
+            self._started = True
+            for recorder in self.recorders:
+                recorder.start(self)
+        self.now = snapshot["now"]
+        self.delta = snapshot["delta"]
+        self.statistics = dict(snapshot["statistics"])
+        for name, state in snapshot["signals"].items():
+            self.signals[name].restore_state(state)
+        for name, state in snapshot["processes"].items():
+            process = self.processes[name]
+            process.start()
+            process.finished = state["finished"]
+            process.run_count = state["run_count"]
+        self._delta_queue = [(self.signals[name], value)
+                             for name, value in snapshot["delta_queue"]]
+        self._restore_pending(snapshot["pending"])
+        return self
+
+    def _snapshot_pending(self):
+        """Scheduling state: future transactions, live waits, seq counter."""
+        future = sorted(
+            (time, seq, signal.name, value)
+            for time, seq, signal, value in self._future
+        )
+        waits = sorted(self._iter_live_waits(), key=lambda wait: wait.seq)
+        # Reserve the counter's current value without disturbing the
+        # sequence the simulator itself will hand out next.
+        seq_next = next(self._seq)
+        self._seq = itertools.count(seq_next)
+        return {
+            "future": future,
+            "waits": [
+                {
+                    "process": wait.process.name,
+                    "signals": [signal.name for signal in wait.signals],
+                    "resume_at": wait.resume_at,
+                    "seq": wait.seq,
+                }
+                for wait in waits
+            ],
+            "seq_next": seq_next,
+        }
+
+    def _iter_live_waits(self):
+        """Every live (not ``done``) wait, deduplicated across indexes."""
+        seen = {}
+        for waiters in self._waiters.values():
+            for wait in waiters:
+                if not wait.done:
+                    seen[id(wait)] = wait
+        for _, _, wait in self._timeout_heap:
+            if not wait.done:
+                seen[id(wait)] = wait
+        return list(seen.values())
+
+    def _restore_pending(self, pending):
+        """Rebuild the scheduling structures from a snapshot's pending state."""
+        self._future = [
+            (time, seq, self.signals[name], value)
+            for time, seq, name, value in pending["future"]
+        ]
+        heapq.heapify(self._future)
+        self._timeout_heap = []
+        self._waiters = {}
+        self._waiter_stale = {}
+        for entry in pending["waits"]:
+            wait = _GenWait(
+                self.processes[entry["process"]],
+                signals=tuple(self.signals[name] for name in entry["signals"]),
+                resume_at=entry["resume_at"],
+                seq=entry["seq"],
+            )
+            self._register_wait(wait)
+        self._seq = itertools.count(pending["seq_next"])
+        self._next_time_cache = None
+        self._next_time_dirty = True
 
     # ---------------------------------------------------------------- helpers
 

@@ -63,6 +63,22 @@ class Monitor:
         """True when the invariant never failed."""
         return not self.violations
 
+    # ----------------------------------------------------------- state access
+
+    def capture_state(self):
+        """Picklable copy of the monitor's mutable state (checkpointing)."""
+        return {
+            "checks": self.checks,
+            "violations": [(violation.time, violation.message)
+                           for violation in self.violations],
+        }
+
+    def restore_state(self, state):
+        """Overwrite the monitor's state with a :meth:`capture_state` copy."""
+        self.checks = state["checks"]
+        self.violations = [Violation(time, message)
+                           for time, message in state["violations"]]
+
     def __repr__(self):
         return f"Monitor({self.name}, checks={self.checks}, violations={len(self.violations)})"
 
@@ -91,3 +107,12 @@ class StabilityMonitor(Monitor):
             return self._data.value == self._held
         self._held = None
         return True
+
+    def capture_state(self):
+        state = super().capture_state()
+        state["held"] = self._held
+        return state
+
+    def restore_state(self, state):
+        super().restore_state(state)
+        self._held = state["held"]

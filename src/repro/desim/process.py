@@ -25,22 +25,66 @@ from repro.utils.ids import check_identifier
 
 
 class Process:
-    """A simulation process registered with a :class:`Simulator`."""
+    """A simulation process registered with a :class:`Simulator`.
 
-    def __init__(self, name, func, sensitivity=(), initial_run=True):
+    Parameters
+    ----------
+    name, func, sensitivity, initial_run:
+        As registered through :meth:`Simulator.add_process`.
+    first_wait:
+        Optional :class:`WaitCondition` the kernel arms at simulation start
+        instead of running the process: the generator is parked on the wait
+        and first stepped when it fires.  This turns a *wait-first* loop
+        (``while True: yield w; act()``) into the equivalent *act-first*
+        loop (``while True: act(); yield w``) — the shape required for
+        ``rearmable``.  Implies ``initial_run=False``.
+    rearmable:
+        Declares that a **fresh** generator instance, stepped once, behaves
+        exactly like the suspended one being resumed — true for act-first
+        loops with no prologue and no loop-carried frame state (all state
+        lives in signals or captured objects).  Only rearmable generator
+        processes can be re-suspended by :meth:`Simulator.restore`;
+        sensitivity-list processes are always restorable.
+    """
+
+    def __init__(self, name, func, sensitivity=(), initial_run=True,
+                 first_wait=None, rearmable=False):
         self.name = check_identifier(name, "process name")
         self.func = func
         self.sensitivity = tuple(sensitivity)
-        self.initial_run = initial_run
         self.is_generator = inspect.isgeneratorfunction(func)
         if self.is_generator and self.sensitivity:
             raise SimulationError(
                 f"process {name!r}: generator processes use wait conditions, "
                 "not sensitivity lists"
             )
+        if first_wait is not None:
+            if not self.is_generator:
+                raise SimulationError(
+                    f"process {name!r}: first_wait requires a generator process"
+                )
+            if not isinstance(first_wait, WaitCondition):
+                raise SimulationError(
+                    f"process {name!r}: first_wait must be a WaitCondition, "
+                    f"got {first_wait!r}"
+                )
+            initial_run = False
+        if rearmable and not self.is_generator:
+            raise SimulationError(
+                f"process {name!r}: only generator processes need rearmable "
+                "(sensitivity processes are always restorable)"
+            )
+        self.initial_run = initial_run
+        self.first_wait = first_wait
+        self.rearmable = rearmable
         self._gen = None
         self.finished = False
         self.run_count = 0
+
+    @property
+    def restorable(self):
+        """True when :meth:`Simulator.restore` can re-suspend this process."""
+        return not self.is_generator or self.rearmable
 
     def start(self):
         """Instantiate the generator (no-op for sensitivity processes)."""

@@ -172,6 +172,47 @@ class ReferenceSimulator(Simulator):
             raise SimulationError(f"unknown wait condition {condition!r}")
         self._ref_waits.append(wait)
 
+    # ------------------------------------------------------- snapshot/restore
+
+    def _snapshot_pending(self):
+        """Naive-structure flavour of the snapshot's scheduling state.
+
+        The flat wait list is already in suspension (seq) order and the
+        unsorted future list is order-insensitive (matured entries are
+        sorted by ``(time, seq)`` when they drain), so both serialise
+        directly.
+        """
+        return {
+            "future": [(time, seq, signal.name, value)
+                       for time, seq, signal, value in self._ref_future],
+            "waits": [
+                {
+                    "process": wait.process.name,
+                    "signals": [signal.name for signal in wait.signals],
+                    "resume_at": wait.resume_at,
+                    "seq": wait.seq,
+                }
+                for wait in self._ref_waits if not wait.woken
+            ],
+            "seq_next": self._ref_seq + 1,
+        }
+
+    def _restore_pending(self, pending):
+        self._ref_future = [
+            (time, seq, self.signals[name], value)
+            for time, seq, name, value in pending["future"]
+        ]
+        self._ref_waits = [
+            _RefWait(
+                self.processes[entry["process"]],
+                signals=tuple(self.signals[name] for name in entry["signals"]),
+                resume_at=entry["resume_at"],
+                seq=entry["seq"],
+            )
+            for entry in pending["waits"]
+        ]
+        self._ref_seq = pending["seq_next"] - 1
+
     def __repr__(self):
         return (
             f"ReferenceSimulator(now={self.now}, signals={len(self.signals)}, "

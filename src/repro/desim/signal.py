@@ -91,6 +91,30 @@ class Signal:
         self.event = False
         self.change_count = 0
 
+    # ----------------------------------------------------------- state access
+
+    def capture_state(self):
+        """Picklable copy of the signal's mutable state (checkpointing).
+
+        Only taken between delta cycles, when ``event``/``_pending`` /
+        ``_staged`` are quiescent; pending *future* transactions live in the
+        kernel, not here.
+        """
+        return {
+            "value": self._value,
+            "last_changed": self.last_changed,
+            "change_count": self.change_count,
+        }
+
+    def restore_state(self, state):
+        """Overwrite the signal's state with a :meth:`capture_state` copy."""
+        self._value = state["value"]
+        self.last_changed = state["last_changed"]
+        self.change_count = state["change_count"]
+        self._pending = None
+        self._staged = False
+        self.event = False
+
     def __repr__(self):
         return f"Signal({self.name}={self._value!r})"
 
@@ -126,3 +150,12 @@ class ResolvedSignal(Signal):
         else:
             self._drivers[driver_id] = value
         self.stage(self._resolver(list(self._drivers.values())))
+
+    def capture_state(self):
+        state = super().capture_state()
+        state["drivers"] = dict(self._drivers)
+        return state
+
+    def restore_state(self, state):
+        super().restore_state(state)
+        self._drivers = dict(state["drivers"])

@@ -4,9 +4,55 @@ The recorder keeps an in-memory value-change list per signal and can render a
 textual VCD-style dump.  It is used by the co-simulation session to provide
 the "functional validation" evidence the paper obtains from the VHDL
 simulator's trace window.
+
+Two correctness rules the recorder guarantees:
+
+* every traced signal has a recorded **initial value** — signals registered
+  after :meth:`start` are announced by the kernel through :meth:`register`
+  (and, as a last resort, the first recorded change pins the baseline), so
+  ``value_at``/``count_pulses``/``edge_times`` never silently assume 0,
+* the merged dumps sort on ``(time, name)`` only, never on values, so
+  signals carrying heterogeneous value types (ints next to strings) cannot
+  raise ``TypeError`` on a time tie, and same-signal changes within one
+  time point keep their delta order (the sort is stable).
 """
 
 from repro.utils.text import format_table
+
+
+def _vcd_value(value, width, code, real=False):
+    """One VCD value-change line for *value* under identifier *code*.
+
+    Integers are emitted as binary vectors (``b101 <code>``), the only
+    encoding standard viewers accept for ``wire`` variables; 1-bit wires use
+    the scalar shorthand (``1<code>``).  Negative integers are emitted in
+    two's complement at the declared width.  On a ``real``-declared
+    variable every numeric value — including the ints of a mixed-type
+    signal — is emitted as an ``r`` change instead, since vector changes
+    on a real variable are just as invalid as the reverse.  Any other
+    value becomes a VCD string change.
+    """
+    if isinstance(value, bool):
+        value = int(value)
+    if real and isinstance(value, (int, float)):
+        return f"r{float(value)} {code}"
+    if isinstance(value, int):
+        if width == 1 and value in (0, 1):
+            return f"{value}{code}"
+        masked = value & ((1 << width) - 1)
+        return f"b{masked:b} {code}"
+    if isinstance(value, float):
+        return f"r{value} {code}"
+    return f"s{value} {code}"
+
+
+def _int_width(value):
+    """Bits needed to represent one integer value (two's complement for <0)."""
+    if isinstance(value, bool):
+        return 1
+    if value < 0:
+        return value.bit_length() + 1
+    return max(1, value.bit_length())
 
 
 class WaveformRecorder:
@@ -16,7 +62,8 @@ class WaveformRecorder:
     ----------
     signals:
         Iterable of signals to watch; when empty, every signal registered
-        with the simulator at start time is traced.
+        with the simulator at start time is traced (plus any signal
+        registered later, which the kernel announces via :meth:`register`).
     """
 
     def __init__(self, signals=()):
@@ -30,14 +77,35 @@ class WaveformRecorder:
             if name in simulator.signals:
                 signal = simulator.signals[name]
                 self.changes.setdefault(name, [])
-                self._initial[name] = signal.value
+                self._initial.setdefault(name, signal.value)
+
+    def register(self, signal):
+        """Announce a signal registered after :meth:`start`.
+
+        The kernel calls this for late ``add_signal``/``register_signal``
+        registrations so the recorder can pin the signal's true initial
+        value instead of assuming 0 in :meth:`value_at` and friends.
+        """
+        if self._filter is not None and signal.name not in self._filter:
+            return
+        self.changes.setdefault(signal.name, [])
+        self._initial.setdefault(signal.name, signal.value)
 
     def record(self, time, signal):
         if self._filter is not None and signal.name not in self._filter:
             return
-        self.changes.setdefault(signal.name, []).append((time, signal.value))
+        name = signal.name
+        if name not in self._initial:
+            # Last resort for signals never announced (e.g. recorded through
+            # a foreign kernel): the first-seen change fixes the baseline.
+            self._initial[name] = signal.value
+        self.changes.setdefault(name, []).append((time, signal.value))
 
     # ------------------------------------------------------------------ query
+
+    def initial_value(self, name, default=0):
+        """The value signal *name* held before its first recorded change."""
+        return self._initial.get(name, default)
 
     def history(self, name):
         """Return the list of ``(time, value)`` changes of signal *name*."""
@@ -72,41 +140,84 @@ class WaveformRecorder:
             previous = value
         return times
 
+    # ----------------------------------------------------------- state access
+
+    def capture_state(self):
+        """Picklable copy of the recorder's mutable state (checkpointing)."""
+        return {
+            "changes": {name: list(changes)
+                        for name, changes in self.changes.items()},
+            "initial": dict(self._initial),
+        }
+
+    def restore_state(self, state):
+        """Overwrite the recorder's state with a :meth:`capture_state` copy."""
+        self.changes = {name: list(changes)
+                        for name, changes in state["changes"].items()}
+        self._initial = dict(state["initial"])
+
     # ------------------------------------------------------------------- dump
+
+    def _merged_changes(self, names):
+        """All changes of *names* as ``(time, name, value)``, (time, name)
+        ordered; per-signal delta order is preserved (stable sort, values
+        never compared)."""
+        merged = []
+        for name in names:
+            for change_time, value in self.changes.get(name, []):
+                merged.append((change_time, name, value))
+        merged.sort(key=lambda entry: (entry[0], entry[1]))
+        return merged
 
     def dump(self, names=None):
         """Return a textual table of all recorded changes (time-ordered)."""
         names = list(names) if names is not None else sorted(self.changes)
-        rows = []
-        merged = []
-        for name in names:
-            for change_time, value in self.changes.get(name, []):
-                merged.append((change_time, name, value))
-        merged.sort()
-        for change_time, name, value in merged:
-            rows.append((change_time, name, value))
+        rows = [(change_time, name, value)
+                for change_time, name, value in self._merged_changes(names)]
         return format_table(["time (ns)", "signal", "value"], rows)
 
+    def _declared_width(self, name):
+        """Honest bit width of signal *name*: the widest integer it took."""
+        values = [self._initial.get(name, 0)]
+        values.extend(value for _, value in self.changes.get(name, ()))
+        widths = [_int_width(value) for value in values
+                  if isinstance(value, int)]
+        return max(widths) if widths else 1
+
     def to_vcd(self, names=None):
-        """Render a minimal VCD document for the recorded signals."""
+        """Render a minimal VCD document for the recorded signals.
+
+        Integer values are emitted as binary vector changes (``b...``) with
+        the declared width computed from the values actually seen — never as
+        ``r`` real-number changes, which standard viewers reject for
+        ``wire`` variables.  Floats become ``real`` variables and any other
+        value a VCD string change.
+        """
         names = list(names) if names is not None else sorted(self.changes)
         codes = {name: chr(33 + index) for index, name in enumerate(names)}
+        widths = {name: self._declared_width(name) for name in names}
+        reals = {}
         lines = ["$timescale 1ns $end"]
         for name in names:
-            lines.append(f"$var wire 32 {codes[name]} {name} $end")
+            values = [self._initial.get(name, 0)]
+            values.extend(value for _, value in self.changes.get(name, ()))
+            reals[name] = any(isinstance(value, float) for value in values)
+            if reals[name]:
+                lines.append(f"$var real 64 {codes[name]} {name} $end")
+            else:
+                lines.append(
+                    f"$var wire {widths[name]} {codes[name]} {name} $end"
+                )
         lines.append("$enddefinitions $end")
         lines.append("#0")
         for name in names:
-            lines.append(f"r{self._initial.get(name, 0)} {codes[name]}")
-        merged = []
-        for name in names:
-            for change_time, value in self.changes.get(name, []):
-                merged.append((change_time, name, value))
-        merged.sort()
+            lines.append(_vcd_value(self._initial.get(name, 0), widths[name],
+                                    codes[name], real=reals[name]))
         current_time = 0
-        for change_time, name, value in merged:
+        for change_time, name, value in self._merged_changes(names):
             if change_time != current_time:
                 lines.append(f"#{change_time}")
                 current_time = change_time
-            lines.append(f"r{value} {codes[name]}")
+            lines.append(_vcd_value(value, widths[name], codes[name],
+                                    real=reals[name]))
         return "\n".join(lines)

@@ -2,19 +2,17 @@
 
 Each worker process holds its own :class:`CandidateEvaluator` (built once
 from the pickled model in the pool initializer), so per-module synthesis
-memoization happens per worker.  ``Pool.map`` returns results in submission
-order, and scores are pure functions of ``(model, candidate)``, so a
-parallel run produces **byte-identical reports** to a serial run — the
-worker count only changes wall-clock time.
-
-The pool prefers the ``fork`` start method (custom platforms registered in
-the parent stay visible to workers); where ``fork`` is unavailable the
-default start method is used, which restricts the sweep to importable
-platform factories.
+memoization happens per worker.  The pool mechanics — ``fork`` preference,
+order-preserving ``map``, chunk sizing — live in the shared
+:class:`repro.utils.pool.WorkerPool` helper, which the sweep service
+(:mod:`repro.sweep`) reuses; scores are pure functions of
+``(model, candidate)``, so a parallel run produces **byte-identical
+reports** to a serial run — the worker count only changes wall-clock time.
 """
 
-import multiprocessing
 import pickle
+
+from repro.utils.pool import WorkerPool
 
 _EVALUATOR = None
 
@@ -35,26 +33,17 @@ class ParallelEvaluationPool:
     """Owns the worker pool for one exploration; use as a context manager."""
 
     def __init__(self, model, platform_names, workers, width=16):
-        self._workers = workers
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # platform without fork
-            context = multiprocessing.get_context()
-        self._pool = context.Pool(
-            processes=workers,
+        self._pool = WorkerPool(
+            workers,
             initializer=_init_worker,
             initargs=(pickle.dumps(model), list(platform_names), width),
         )
 
     def evaluate_many(self, candidates):
-        if not candidates:
-            return []
-        chunksize = max(1, len(candidates) // (4 * self._workers))
-        return self._pool.map(_evaluate_one, candidates, chunksize=chunksize)
+        return self._pool.map(_evaluate_one, candidates)
 
     def close(self):
         self._pool.close()
-        self._pool.join()
 
     def __enter__(self):
         return self

@@ -241,6 +241,41 @@ class FsmInstance:
             self.current = self.fsm.initial
         return step_result
 
+    # ----------------------------------------------------------- state access
+
+    def capture_state(self):
+        """Picklable copy of the instance's run-time state.
+
+        The FSM description, port accessor and call handler are structural
+        (rebuilt when the owning session is rebuilt); only current state,
+        variables, counters and the step history travel in a checkpoint.
+        """
+        return {
+            "fsm": self.fsm.name,
+            "current": self.current,
+            "env": dict(self.env),
+            "steps": self.steps,
+            "transitions_fired": self.transitions_fired,
+            "history": [
+                (result.from_state, result.to_state, result.fired,
+                 result.done, result.result, result.called)
+                for result in self.history
+            ],
+        }
+
+    def restore_state(self, state):
+        """Overwrite run-time state with a :meth:`capture_state` copy."""
+        if state["fsm"] != self.fsm.name:
+            raise SimulationError(
+                f"cannot restore FSM state of {state['fsm']!r} "
+                f"into instance of {self.fsm.name!r}"
+            )
+        self.current = state["current"]
+        self.env = dict(state["env"])
+        self.steps = state["steps"]
+        self.transitions_fired = state["transitions_fired"]
+        self.history = [StepResult(*entry) for entry in state["history"]]
+
     def run_to_done(self, max_steps=10_000, args=None):
         """Step repeatedly until a done state is reached (testing helper)."""
         for _ in range(max_steps):

@@ -1,0 +1,43 @@
+"""Batched scenario-sweep service with snapshot/restore and artefact cache.
+
+The sweep layer is the serving front of the reproduction: it takes a queue
+of scenario/partition jobs — generated kernel scenarios, co-simulations,
+co-synthesis runs (including DSE Pareto candidates) — and executes them
+across a multiprocessing worker pool with reports **byte-identical to a
+serial run**, while co-synthesis artefacts are cached content-addressed by
+their job specs so repeated partitions never re-run HLS.  Long
+co-simulations can be checkpointed (``CosimSession.save``/``restore`` over
+``Simulator.snapshot``/``restore``) and warm-started mid-sweep.
+
+Entry points::
+
+    python -m repro.sweep                 # ≥100-job default batch, pooled
+    python -m repro.sweep --quick         # CI smoke batch
+    python -m repro.sweep --selfcheck     # parity + warm-cache assertions
+
+See ``docs/sweep.md`` for the job format, cache layout and checkpoint
+semantics.
+"""
+
+from repro.sweep.cache import ArtifactCache
+from repro.sweep.jobs import (
+    CosimJob,
+    CosynJob,
+    KernelJob,
+    SweepJob,
+    job_from_dict,
+    jobs_from_dse_report,
+)
+from repro.sweep.service import SweepReport, SweepService
+
+__all__ = [
+    "ArtifactCache",
+    "CosimJob",
+    "CosynJob",
+    "KernelJob",
+    "SweepJob",
+    "SweepReport",
+    "SweepService",
+    "job_from_dict",
+    "jobs_from_dse_report",
+]

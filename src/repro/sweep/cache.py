@@ -1,0 +1,112 @@
+"""Content-addressed cache for synthesis artefacts.
+
+Co-synthesis is the expensive leg of a sweep: a full
+:class:`~repro.cosyn.flow.CosynthesisFlow` run re-does HLS for every
+hardware module.  Its outcome, however, is a pure function of the job spec
+(generator seed, networks, platform, partition), so the sweep service
+caches each result's ``as_dict(include_text=True)`` payload under the
+sha256 of the canonical-JSON job spec — repeated partitions never re-run
+HLS, across batches *and* across processes.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, each file a JSON envelope::
+
+    {"format": 1, "key": ..., "sha256": <digest of payload>, "payload": ...}
+
+Writes are atomic (temp file + ``os.replace``), so a crashed writer never
+leaves a half-written entry behind.  Reads verify the envelope: anything
+unreadable, truncated or failing the payload checksum is **deleted and
+treated as a miss** (counted in ``stats["invalidated"]``) — a corrupted
+cache can cost time, never correctness.
+"""
+
+import json
+import os
+import tempfile
+
+from repro.utils.canonical import canonical_json, content_digest
+
+_FORMAT = 1
+
+
+class ArtifactCache:
+    """Content-addressed JSON payload store rooted at a directory."""
+
+    def __init__(self, root):
+        self.root = str(root)
+        self.stats = {"hits": 0, "misses": 0, "writes": 0, "invalidated": 0}
+
+    # ------------------------------------------------------------------- keys
+
+    @staticmethod
+    def key_for(spec):
+        """Cache key of a JSON-serializable job *spec* (canonical sha256)."""
+        return content_digest(spec)
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------ store
+
+    def get(self, key):
+        """Return the cached payload for *key*, or None on miss.
+
+        A present-but-invalid entry (unparsable JSON, wrong envelope,
+        checksum mismatch) is removed and reported as a miss.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            self._invalidate(path)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("format") != _FORMAT
+            or envelope.get("key") != key
+            or envelope.get("sha256") != content_digest(envelope.get("payload"))
+        ):
+            self._invalidate(path)
+            return None
+        self.stats["hits"] += 1
+        return envelope["payload"]
+
+    def put(self, key, payload):
+        """Store *payload* under *key* atomically; returns the payload."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        envelope = {
+            "format": _FORMAT,
+            "key": key,
+            "sha256": content_digest(payload),
+            "payload": payload,
+        }
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="ascii") as handle:
+                handle.write(canonical_json(envelope))
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self.stats["writes"] += 1
+        return payload
+
+    def _invalidate(self, path):
+        self.stats["misses"] += 1
+        self.stats["invalidated"] += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def __repr__(self):
+        return f"ArtifactCache({self.root!r}, stats={self.stats})"

@@ -1,0 +1,290 @@
+"""Sweep job descriptions.
+
+A job is a small, picklable **recipe** — never a live model or simulator —
+so it can travel to a worker process, serve as a cache key and appear in a
+report verbatim.  Three kinds cover the project's workloads:
+
+* :class:`KernelJob` — one generated kernel scenario
+  (:class:`~repro.testkit.generator.KernelScenario`) run on one kernel,
+  fingerprinted.
+* :class:`CosimJob` — one generated system co-simulated to completion (or
+  to a fixed horizon), functionally checked against the generator's
+  expectations, fingerprinted; optionally executed through a mid-run
+  checkpoint/restore round-trip (``checkpoint_at``), which by construction
+  must not change the fingerprint.
+* :class:`CosynJob` — one generated system (optionally repartitioned, e.g.
+  to a DSE Pareto candidate) co-synthesized on one platform.  The full
+  artefact dict is the **cacheable payload**: the sweep service stores it
+  content-addressed by the job spec, so repeated partitions never re-run
+  HLS.
+
+``job.spec()`` is the job's identity (canonical, JSON-serializable);
+``job.execute()`` returns ``(record, payload)`` where *record* is the
+deterministic report entry and *payload* the cacheable artefact (or None).
+"""
+
+from repro.utils.canonical import content_digest
+
+
+class SweepJob:
+    """Base class: identity, naming and error records shared by all kinds."""
+
+    kind = None
+    #: True when ``execute`` produces a payload the service may cache.
+    cacheable = False
+
+    def spec(self):
+        """The job's canonical identity as a JSON-serializable dict."""
+        raise NotImplementedError
+
+    @property
+    def name(self):
+        raise NotImplementedError
+
+    def execute(self):
+        """Run the job; returns ``(record, payload_or_none)``."""
+        raise NotImplementedError
+
+    def error_record(self, exc):
+        """Deterministic report entry for a job that raised *exc*."""
+        record = dict(self.spec())
+        record["name"] = self.name
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        return record
+
+    def _base_record(self):
+        record = dict(self.spec())
+        record["name"] = self.name
+        record["error"] = None
+        return record
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name})"
+
+
+class KernelJob(SweepJob):
+    """Run one generated kernel scenario and fingerprint every observable."""
+
+    kind = "kernel"
+
+    def __init__(self, size, seed, kernel="production"):
+        from repro.testkit.generator import SIZES
+
+        if size not in SIZES:
+            raise ValueError(f"unknown scenario size {size!r}; "
+                             f"available: {sorted(SIZES)}")
+        self.size = size
+        self.seed = int(seed)
+        self.kernel = kernel
+
+    def spec(self):
+        return {"kind": self.kind, "size": self.size, "seed": self.seed,
+                "kernel": self.kernel}
+
+    @property
+    def name(self):
+        return f"kernel-{self.size}-{self.seed}@{self.kernel}"
+
+    def execute(self):
+        from repro.testkit.generator import KernelScenario
+
+        scenario = KernelScenario(self.seed, size=self.size)
+        instance = scenario.build(self.kernel)
+        instance.run()
+        fingerprint = instance.fingerprint()
+        record = self._base_record()
+        record.update({
+            "end_time": fingerprint["end_time"],
+            "log_entries": len(fingerprint["log"]),
+            "delta_cycles": fingerprint["statistics"]["delta_cycles"],
+            "process_runs": fingerprint["statistics"]["process_runs"],
+            "fingerprint_digest": content_digest(fingerprint),
+        })
+        return record, None
+
+
+class CosimJob(SweepJob):
+    """Co-simulate one generated system; check and fingerprint the outcome.
+
+    With *until* unset the session runs to software completion
+    (:func:`~repro.testkit.oracles.run_session_to_completion`) and the
+    generator's functional expectations are checked; with *until* set it
+    runs to that fixed horizon.  *checkpoint_at* (< *until* or < the
+    completion horizon) routes execution through
+    ``save()`` → fresh session → ``restore()`` mid-run: the recorded
+    fingerprint digest must equal the uninterrupted variant's, which is
+    exactly what the sweep's checkpoint tests pin.
+    """
+
+    kind = "cosim"
+
+    def __init__(self, seed, networks=None, kernel="production", until=None,
+                 checkpoint_at=None):
+        self.seed = int(seed)
+        self.networks = None if networks is None else int(networks)
+        self.kernel = kernel
+        self.until = None if until is None else int(until)
+        self.checkpoint_at = (None if checkpoint_at is None
+                              else int(checkpoint_at))
+        if self.checkpoint_at is not None and self.checkpoint_at <= 0:
+            raise ValueError("checkpoint_at must be a positive time")
+        if (self.checkpoint_at is not None and self.until is not None
+                and self.checkpoint_at >= self.until):
+            raise ValueError("checkpoint_at must lie before until")
+
+    def spec(self):
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "networks": self.networks,
+            "kernel": self.kernel,
+            "until": self.until,
+            "checkpoint_at": self.checkpoint_at,
+        }
+
+    @property
+    def name(self):
+        suffix = f"x{self.networks}" if self.networks is not None else ""
+        return f"cosim-{self.seed}{suffix}@{self.kernel}"
+
+    def _session(self, system):
+        from repro.cosim import CosimSession
+
+        return CosimSession(system.build_model(), kernel=self.kernel,
+                            **system.cosim_params)
+
+    def execute(self):
+        from repro.testkit.models import generate_system
+        from repro.testkit.oracles import (
+            check_functional_outcome,
+            cosim_fingerprint,
+            run_session_to_completion,
+        )
+
+        system = generate_system(self.seed, networks=self.networks)
+        session = self._session(system)
+        if self.checkpoint_at is not None:
+            session.run(until=self.checkpoint_at)
+            checkpoint = session.save()
+            session = self._session(system).restore(checkpoint)
+        if self.until is None:
+            result = run_session_to_completion(session, system.expectations)
+            problems = check_functional_outcome(session, result,
+                                                system.expectations)
+        else:
+            result = session.run(until=self.until)
+            problems = None
+        record = self._base_record()
+        record.update({
+            "end_time": result.end_time,
+            "service_calls": len(result.trace),
+            "sw_finished_all": all(result.sw_finished.values()),
+            "functional_problems": problems,
+            "fingerprint_digest": content_digest(
+                cosim_fingerprint(session, result)
+            ),
+        })
+        return record, None
+
+
+class CosynJob(SweepJob):
+    """Co-synthesize one generated system on one platform; cacheable.
+
+    *hw_modules* overrides the generated partitioning (a sorted list of
+    module names to place in hardware — the form DSE Pareto candidates
+    arrive in); None keeps the generator's own partitioning.
+    """
+
+    kind = "cosyn"
+    cacheable = True
+
+    def __init__(self, seed, networks=None, platform="pc_at_fpga",
+                 hw_modules=None):
+        self.seed = int(seed)
+        self.networks = None if networks is None else int(networks)
+        self.platform = platform
+        self.hw_modules = (None if hw_modules is None
+                           else sorted(str(name) for name in hw_modules))
+
+    def spec(self):
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "networks": self.networks,
+            "platform": self.platform,
+            "hw_modules": self.hw_modules,
+        }
+
+    @property
+    def name(self):
+        suffix = f"x{self.networks}" if self.networks is not None else ""
+        return f"cosyn-{self.seed}{suffix}@{self.platform}"
+
+    def execute(self):
+        from repro.cosyn import CosynthesisFlow
+        from repro.dse.space import repartition
+        from repro.platforms import get_platform
+        from repro.testkit.models import generate_system
+
+        system = generate_system(self.seed, networks=self.networks)
+        model = system.build_model()
+        if self.hw_modules is not None:
+            model = repartition(model, self.hw_modules)
+        result = CosynthesisFlow(model, get_platform(self.platform)).run()
+        payload = result.as_dict(include_text=True)
+        return self.record_from_payload(payload, cached=False), payload
+
+    def record_from_payload(self, payload, cached):
+        """Report entry from an artefact payload (fresh or cache-served)."""
+        record = self._base_record()
+        record.update({
+            "ok": payload["ok"],
+            "problems": list(payload["problems"]),
+            "total_clbs": payload["total_clbs"],
+            "system_clock_ns": payload["system_clock_ns"],
+            "hardware_modules": sorted(payload["hardware"]),
+            "software_modules": sorted(payload["software"]),
+            "artifact_digest": content_digest(payload),
+            "cached": cached,
+        })
+        return record
+
+
+_JOB_KINDS = {
+    KernelJob.kind: KernelJob,
+    CosimJob.kind: CosimJob,
+    CosynJob.kind: CosynJob,
+}
+
+
+def job_from_dict(data):
+    """Build a job from its spec dict (the JSON job-file entry format)."""
+    if not isinstance(data, dict):
+        raise ValueError(f"job entry must be an object, got {data!r}")
+    kwargs = dict(data)
+    kind = kwargs.pop("kind", None)
+    try:
+        factory = _JOB_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown job kind {kind!r}; available: {sorted(_JOB_KINDS)}"
+        ) from None
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"bad {kind} job {data!r}: {exc}") from None
+
+
+def jobs_from_dse_report(report, seed, networks=None):
+    """Cosyn jobs for every Pareto-front candidate of a DSE report dict.
+
+    The DSE report names the swept system but not the generator recipe
+    that built it, so the caller supplies *seed*/*networks* (the values
+    passed to ``python -m repro.dse``).
+    """
+    jobs = []
+    for entry in report.get("front", ()):
+        jobs.append(CosynJob(seed, networks=networks,
+                             platform=entry["platform"],
+                             hw_modules=entry["hw_modules"]))
+    return jobs

@@ -1,0 +1,23 @@
+"""Canonical JSON rendering and content digests.
+
+Content addressing — the sweep cache keying synthesis artefacts by the
+``as_dict()`` form of their inputs, job and result digests in sweep
+reports — needs one byte-exact rendering per value.  ``canonical_json``
+fixes separators, key order and ASCII escaping, so equal dicts digest
+equally on every platform and Python version; ``content_digest`` is the
+sha256 of that rendering.
+"""
+
+import hashlib
+import json
+
+
+def canonical_json(value):
+    """The unique, byte-stable JSON rendering of *value*."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def content_digest(value):
+    """sha256 hex digest of :func:`canonical_json` of *value*."""
+    return hashlib.sha256(canonical_json(value).encode("ascii")).hexdigest()

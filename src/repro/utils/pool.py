@@ -1,0 +1,70 @@
+"""Shared multiprocessing worker-pool helper.
+
+Both batch layers of the project — DSE candidate evaluation
+(:mod:`repro.dse.parallel`) and the scenario-sweep service
+(:mod:`repro.sweep.service`) — fan work out over a process pool with the
+same requirements:
+
+* prefer the ``fork`` start method, so custom platforms and models
+  registered in the parent process stay visible to workers without being
+  importable,
+* preserve submission order (``Pool.map``), so a parallel run merges into
+  a report **byte-identical** to a serial run — the worker count may only
+  change wall-clock time,
+* auto-size chunks so the pool is neither starved nor dominated by one
+  straggler chunk.
+
+This module owns that shape once; consumers supply only the work function
+and, optionally, a per-worker initializer.
+"""
+
+import multiprocessing
+
+
+class WorkerPool:
+    """A fork-preferring, order-preserving process pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (must be >= 1).
+    initializer, initargs:
+        Optional per-worker setup, exactly as for ``multiprocessing.Pool``.
+
+    Use as a context manager; :meth:`map` blocks until every item is done
+    and returns results in submission order.
+    """
+
+    def __init__(self, workers, initializer=None, initargs=()):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork
+            context = multiprocessing.get_context()
+        self._pool = context.Pool(
+            processes=workers,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def map(self, func, items, chunksize=None):
+        """Run ``func`` over *items* on the pool, in submission order."""
+        items = list(items)
+        if not items:
+            return []
+        if chunksize is None:
+            chunksize = max(1, len(items) // (4 * self.workers))
+        return self._pool.map(func, items, chunksize=chunksize)
+
+    def close(self):
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

@@ -1,0 +1,129 @@
+"""CosimSession save/resume round-trips.
+
+Pins the sweep layer's checkpoint contract: a session saved mid-run and
+restored into a freshly built session resumes **byte-identically** to an
+uninterrupted run — same waveform dump, same service-call trace table,
+same states, counters and statistics — on both kernels and across
+generator seeds; and checkpoints survive pickling to disk.
+"""
+
+import pickle
+
+import pytest
+
+from repro.cosim import CosimSession
+from repro.desim import Monitor
+from repro.testkit.models import generate_system
+from repro.testkit.oracles import cosim_fingerprint, run_session_to_completion
+from repro.utils.errors import SimulationError
+
+
+def make_session(system, kernel="production"):
+    return CosimSession(system.build_model(), kernel=kernel,
+                        **system.cosim_params)
+
+
+class TestSessionCheckpoint:
+    @pytest.mark.parametrize("kernel", ["production", "reference"])
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_resume_matches_uninterrupted_completion_run(self, kernel, seed):
+        system = generate_system(seed)
+        straight = make_session(system, kernel)
+        expected = cosim_fingerprint(
+            straight, run_session_to_completion(straight, system.expectations)
+        )
+
+        interrupted = make_session(system, kernel)
+        interrupted.run(until=1700)  # off the completion-check grid on purpose
+        blob = pickle.dumps(interrupted.save())
+
+        resumed = make_session(system, kernel)
+        resumed.restore(pickle.loads(blob))
+        actual = cosim_fingerprint(
+            resumed, run_session_to_completion(resumed, system.expectations)
+        )
+        assert actual == expected
+
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_resume_matches_uninterrupted_fixed_horizon_run(self, seed):
+        system = generate_system(seed)
+        straight = make_session(system)
+        expected = cosim_fingerprint(straight, straight.run(until=30_000))
+
+        interrupted = make_session(system)
+        interrupted.run(until=12_345)
+        checkpoint = interrupted.save()
+        resumed = make_session(system).restore(checkpoint)
+        actual = cosim_fingerprint(resumed, resumed.run(until=30_000))
+        assert actual == expected
+
+    def test_checkpoint_chain_of_checkpoints(self):
+        system = generate_system(2)
+        straight = make_session(system)
+        expected = cosim_fingerprint(straight, straight.run(until=24_000))
+
+        session = make_session(system)
+        for cut in (3_000, 9_500, 17_777):
+            session.run(until=cut)
+            session = make_session(system).restore(session.save())
+        actual = cosim_fingerprint(session, session.run(until=24_000))
+        assert actual == expected
+
+    def test_save_before_any_run_checkpoints_time_zero(self):
+        system = generate_system(0)
+        checkpoint = make_session(system).save()
+        straight = make_session(system)
+        expected = cosim_fingerprint(straight, straight.run(until=8_000))
+        resumed = make_session(system).restore(checkpoint)
+        actual = cosim_fingerprint(resumed, resumed.run(until=8_000))
+        assert actual == expected
+
+    def test_monitor_state_travels_with_the_checkpoint(self):
+        system = generate_system(0)
+        session = make_session(system)
+        session.add_monitor(Monitor("always_fails", lambda sim: False))
+        session.run(until=500)
+        checkpoint = session.save()
+        violations_at_cut = len(session.monitors[0].violations)
+        assert violations_at_cut > 0
+
+        resumed = make_session(system)
+        resumed.add_monitor(Monitor("always_fails", lambda sim: False))
+        resumed.restore(checkpoint)
+        assert len(resumed.monitors[0].violations) == violations_at_cut
+        assert resumed.monitors[0].checks == session.monitors[0].checks
+
+    def test_restore_rejects_parameter_mismatch(self):
+        system = generate_system(0)
+        checkpoint = make_session(system).save()
+        other = CosimSession(system.build_model(), kernel="reference",
+                             **system.cosim_params)
+        with pytest.raises(SimulationError, match="does not match"):
+            other.restore(checkpoint)
+
+    def test_restore_rejects_different_system(self):
+        checkpoint = make_session(generate_system(0)).save()
+        other_system = generate_system(1)
+        other = make_session(other_system)
+        with pytest.raises(SimulationError, match="does not match"):
+            other.restore(checkpoint)
+
+    def test_restore_rejects_missing_monitor(self):
+        system = generate_system(0)
+        session = make_session(system)
+        session.run(until=900)
+        session.add_monitor(Monitor("probe", lambda sim: True))
+        checkpoint = session.save()
+        bare = make_session(system)
+        with pytest.raises(SimulationError, match="monitors"):
+            bare.restore(checkpoint)
+        # A refused restore must not leave a half-restored hybrid: the
+        # session is still the fresh build and runs from scratch.
+        assert bare.simulator.now == 0
+        assert len(bare.trace) == 0
+        result = run_session_to_completion(bare, system.expectations)
+        straight = make_session(system)
+        straight_result = run_session_to_completion(straight,
+                                                    system.expectations)
+        assert cosim_fingerprint(bare, result) == \
+            cosim_fingerprint(straight, straight_result)

@@ -95,6 +95,49 @@ class TestServiceCallTrace:
         assert "Put" in table and "Get" in table
 
 
+class TestBackToBackInvocations:
+    def _one_step_service(self):
+        from repro.core.service import Service, ServiceParam
+
+        build = FsmBuilder("ECHO")
+        build.variable("REQUEST", INT, 0)
+        with build.state("Go") as state:
+            state.go("Done")
+        with build.state("Done", done=True) as state:
+            state.go("Go")
+        return Service("ECHO", build.build(initial="Go"),
+                       params=[ServiceParam("REQUEST", INT)],
+                       interface="HostIf")
+
+    def test_same_delta_invocations_get_distinct_records(self):
+        # Two back-to-back invocations of one service by one caller at the
+        # same simulation time used to merge into a single trace record
+        # (keyed by (caller, service)), halving the call count and skewing
+        # mean_latency; the instance's invocation token keeps them apart.
+        sim = Simulator()
+        trace = ServiceCallTrace()
+        instance = ServiceInstance("Caller", self._one_step_service(), "Unit",
+                                   SignalPortAccessor(sim, {}), trace=trace,
+                                   time_fn=lambda: sim.now)
+        assert instance.step([7]) == (True, None)
+        assert instance.step([8]) == (True, None)
+        assert len(trace) == 2
+        assert trace.count(caller="Caller", service="ECHO") == 2
+        assert [record.args for record in trace.records] == [(7,), (8,)]
+        assert trace.mean_latency(service="ECHO") == 0
+
+    def test_trace_tokens_separate_overlapping_invocations(self):
+        trace = ServiceCallTrace()
+        trace.begin("M", "Svc", "U", 100, token=0)
+        trace.begin("M", "Svc", "U", 110, token=0)  # second step, same call
+        trace.complete("M", "Svc", 120, token=0)
+        trace.begin("M", "Svc", "U", 120, token=1)
+        trace.complete("M", "Svc", 200, token=1)
+        assert len(trace) == 2
+        assert [record.latency for record in trace.records] == [20, 80]
+        assert trace.records[0].steps == 2
+
+
 class TestActivationPolicies:
     def _stepper_fsm(self, limit=10):
         build = FsmBuilder("STEPPER")

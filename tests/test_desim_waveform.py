@@ -65,6 +65,104 @@ class TestWaveformRecorder:
         assert "$enddefinitions $end" in vcd
         assert "#10" in vcd and "#30" in vcd
 
+    def test_vcd_integers_are_binary_vectors_not_reals(self):
+        # r<value> changes on a $var wire are invalid VCD that standard
+        # viewers reject; integers must be emitted as b<binary> vectors.
+        recorder = _run_small_trace()
+        vcd = recorder.to_vcd(["data", "strobe"])
+        assert "r5" not in vcd and "r9" not in vcd
+        assert "b101 !" in vcd  # data == 5 at t=10, code '!' is the first name
+        assert "b1001 !" in vcd  # data == 9 at t=30
+
+    def test_vcd_widths_are_honest(self):
+        # data takes values {0, 5, 9} -> 4 bits; strobe {0, 1} -> 1-bit
+        # scalar wire using the 0/1 shorthand.
+        recorder = _run_small_trace()
+        vcd = recorder.to_vcd(["data", "strobe"])
+        assert '$var wire 4 ! data $end' in vcd
+        assert '$var wire 1 " strobe $end' in vcd
+        assert '1"' in vcd and '0"' in vcd
+        assert "$var wire 32" not in vcd
+
+    def test_vcd_initial_values_present(self):
+        recorder = _run_small_trace()
+        vcd = recorder.to_vcd(["data", "strobe"]).splitlines()
+        at_zero = vcd[vcd.index("#0") + 1:vcd.index("#10")]
+        assert at_zero == ["b0 !", '0"']
+
+    def test_vcd_mixed_int_float_signal_stays_real_throughout(self):
+        # A signal that carried both ints and floats is declared real;
+        # every numeric change must then be an r change — b-vectors on a
+        # real variable are just as invalid as r on a wire.
+        sim = Simulator()
+        temp = sim.add_signal("temp", init=0)
+        recorder = sim.add_recorder(WaveformRecorder())
+
+        def stim():
+            yield Timeout(10)
+            sim.schedule(temp, 2.5)
+            yield Timeout(10)
+            sim.schedule(temp, 3)
+
+        sim.add_process("stim", stim)
+        sim.run()
+        vcd = recorder.to_vcd(["temp"])
+        assert "$var real 64 ! temp $end" in vcd
+        assert "r0.0 !" in vcd and "r2.5 !" in vcd and "r3.0 !" in vcd
+        assert "b" not in vcd.split("$enddefinitions $end")[1]
+
+    def test_late_registered_signal_keeps_true_initial_value(self):
+        # A signal added after start() must not be assumed to start at 0:
+        # the kernel announces it and the recorder pins its real initial
+        # value, so value_at/count_pulses/edge_times stay truthful.
+        sim = Simulator()
+        sim.add_signal("early", init=2)
+        recorder = sim.add_recorder(WaveformRecorder())
+
+        def stim():
+            yield Timeout(5)
+            late = sim.add_signal("late", init=7)
+            yield Timeout(5)
+            sim.schedule(late, 7)  # no event: same value
+            yield Timeout(5)
+            sim.schedule(late, 1)
+
+        sim.add_process("stim", stim)
+        sim.run(until=40)
+        assert recorder.initial_value("late") == 7
+        assert recorder.value_at("late", 6) == 7
+        assert recorder.value_at("late", 20) == 1
+        # 7 -> 1 is not a rising edge to level 7; and with the honest
+        # initial value the 7 at t=10 is not a pulse either.
+        assert recorder.count_pulses("late", level=7) == 0
+        assert recorder.edge_times("late", level=1) == [15]
+
+    def test_merge_sort_survives_heterogeneous_values_on_time_ties(self):
+        # One signal changing twice within a single time point (two delta
+        # cycles), once to an int and once to a str, used to make
+        # dump()/to_vcd() compare the values on the (time, name) tie and
+        # raise TypeError; the sort keys on (time, name) only and is
+        # stable, so the delta order survives.
+        from repro.desim import Delta
+
+        sim = Simulator()
+        status = sim.add_signal("status", init=0)
+        recorder = sim.add_recorder(WaveformRecorder())
+
+        def stim():
+            yield Timeout(10)
+            sim.schedule(status, 3)
+            yield Delta()
+            sim.schedule(status, "overflow")
+
+        sim.add_process("stim", stim)
+        sim.run()
+        assert recorder.history("status") == [(10, 3), (10, "overflow")]
+        dump = recorder.dump()
+        assert "overflow" in dump and "3" in dump
+        vcd = recorder.to_vcd()
+        assert "b11 !" in vcd and "soverflow !" in vcd
+
     def test_filtered_recorder_ignores_other_signals(self):
         sim = Simulator()
         keep = sim.add_signal("keep", init=0)

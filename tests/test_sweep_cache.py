@@ -1,0 +1,92 @@
+"""The content-addressed artefact cache: hit/miss, corruption safety."""
+
+import json
+import os
+
+from repro.sweep.cache import ArtifactCache
+from repro.utils.canonical import canonical_json, content_digest
+
+
+SPEC = {"kind": "cosyn", "seed": 3, "networks": None,
+        "platform": "pc_at_fpga", "hw_modules": ["Prod0"]}
+PAYLOAD = {"ok": True, "total_clbs": 41, "hardware": {"Prod0": {"clbs": 41}}}
+
+
+class TestArtifactCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for(SPEC)
+        assert cache.get(key) is None
+        cache.put(key, PAYLOAD)
+        assert cache.get(key) == PAYLOAD
+        assert cache.stats == {"hits": 1, "misses": 1, "writes": 1,
+                               "invalidated": 0}
+
+    def test_keys_are_stable_and_order_independent(self):
+        reordered = dict(reversed(list(SPEC.items())))
+        assert ArtifactCache.key_for(SPEC) == ArtifactCache.key_for(reordered)
+        assert ArtifactCache.key_for(SPEC) != ArtifactCache.key_for(
+            {**SPEC, "seed": 4})
+
+    def test_cache_survives_process_boundaries_via_directory(self, tmp_path):
+        key = ArtifactCache.key_for(SPEC)
+        ArtifactCache(tmp_path).put(key, PAYLOAD)
+        fresh = ArtifactCache(tmp_path)
+        assert fresh.get(key) == PAYLOAD
+
+    def test_unparsable_entry_is_invalidated(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for(SPEC)
+        cache.put(key, PAYLOAD)
+        path = cache._path(key)
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        assert cache.get(key) is None
+        assert not os.path.exists(path), "corrupted entry must be deleted"
+        assert cache.stats["invalidated"] == 1
+        # ...and the slot is usable again.
+        cache.put(key, PAYLOAD)
+        assert cache.get(key) == PAYLOAD
+
+    def test_truncated_entry_is_invalidated(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for(SPEC)
+        cache.put(key, PAYLOAD)
+        path = cache._path(key)
+        blob = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(blob[: len(blob) // 2])
+        assert cache.get(key) is None
+        assert cache.stats["invalidated"] == 1
+
+    def test_payload_tamper_fails_the_checksum(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for(SPEC)
+        cache.put(key, PAYLOAD)
+        path = cache._path(key)
+        envelope = json.load(open(path))
+        envelope["payload"]["total_clbs"] = 9999  # checksum now stale
+        with open(path, "w") as handle:
+            handle.write(canonical_json(envelope))
+        assert cache.get(key) is None
+        assert cache.stats["invalidated"] == 1
+
+    def test_wrong_key_in_envelope_is_invalidated(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for(SPEC)
+        cache.put(key, PAYLOAD)
+        path = cache._path(key)
+        envelope = json.load(open(path))
+        envelope["key"] = "0" * 64
+        envelope["sha256"] = content_digest(envelope["payload"])
+        with open(path, "w") as handle:
+            handle.write(canonical_json(envelope))
+        assert cache.get(key) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for index in range(5):
+            cache.put(ArtifactCache.key_for({"n": index}), {"v": index})
+        leftovers = [name for _, _, files in os.walk(tmp_path)
+                     for name in files if name.endswith(".tmp")]
+        assert leftovers == []

@@ -1,22 +1,46 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-seed conformance conformance-quick dse dse-quick sweep sweep-quick quickstart
+.PHONY: test bench bench-kernel bench-quick bench-seed bench-cosim bench-cosim-seed bench-cosim-quick bench-cosim-check conformance conformance-quick dse dse-quick sweep sweep-quick quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Both perf suites: kernel scheduling (BENCH_kernel.json) and end-to-end
+# co-simulation (BENCH_cosim.json), each merging a "current" run.
+bench: bench-kernel bench-cosim
+
 # Full kernel perf sweep; merges a "current" run into BENCH_kernel.json.
-bench:
-	$(PYTHON) -m benchmarks.perf --label current
+bench-kernel:
+	$(PYTHON) -m benchmarks.perf --label current --repeats 2
 
 # ~1 s smoke run of the same harness (also exercised by the test suite).
 bench-quick:
 	$(PYTHON) -m benchmarks.perf --quick --label quick --no-write
 
-# Record a baseline before touching the kernel.
+# Record a baseline before touching the kernel (same repeats as
+# bench-kernel so seed-vs-current ratios are comparably noise-filtered).
 bench-seed:
-	$(PYTHON) -m benchmarks.perf --label seed
+	$(PYTHON) -m benchmarks.perf --label seed --repeats 2
+
+# Full cosim perf sweep on the compiled FSM tier; merges "current" into
+# BENCH_cosim.json (acceptance: >= 5x vs the interpreted seed on the
+# transition-rate workload's largest point).
+bench-cosim:
+	$(PYTHON) -m benchmarks.perf.cosim --label current --repeats 2
+
+# Record the interpreted-tier baseline the cosim speedups compare against.
+bench-cosim-seed:
+	$(PYTHON) -m benchmarks.perf.cosim --label seed --fsm-mode interpreted --repeats 2
+
+# Smoke run of the cosim harness (no file writes).
+bench-cosim-quick:
+	$(PYTHON) -m benchmarks.perf.cosim --quick --label quick --no-write
+
+# CI regression gate: quick cosim tier must stay within 2x of the recorded
+# quick-baseline label in BENCH_cosim.json.
+bench-cosim-check:
+	$(PYTHON) -m benchmarks.perf.cosim --quick --check
 
 # Differential conformance sweep: 270+ generated scenarios run on both the
 # production and reference kernels plus the cosim/cosyn oracles.

@@ -1,10 +1,18 @@
-"""Kernel performance harness.
+"""Performance harnesses: the kernel suite and the co-simulation suite.
 
-Measures the wall-clock cost of the :class:`repro.desim.Simulator` scheduling
+**Kernel suite** (``python -m benchmarks.perf`` -> ``BENCH_kernel.json``) —
+measures the wall-clock cost of the :class:`repro.desim.Simulator` scheduling
 core over workloads whose *population* (total process count) and *activity*
 (processes actually running per delta cycle) are varied independently.  The
 point of the split is the kernel's central performance claim: per-delta work
 must be proportional to activity, not population.
+
+**Cosim suite** (``python -m benchmarks.perf.cosim`` -> ``BENCH_cosim.json``)
+— measures the end-to-end co-simulation backplane (FSM execution, adapters,
+services) over module-count and transition-rate scaling; its seed label is
+recorded with the interpreted FSM tier and its current label with the
+compiled tier, so the speedup table tracks the compile tier's win.  See
+:mod:`benchmarks.perf.cosim_workloads` and ``docs/perf.md``.
 
 * **idle-heavy** — one clock plus one active counter process, and N idle
   generator processes each blocked in ``wait on <private signal> for <1 s>``
@@ -39,6 +47,9 @@ from benchmarks.perf.harness import (
     run_suite,
     update_bench_file,
 )
+# The cosim suite (benchmarks.perf.cosim / .cosim_workloads) is imported
+# directly by its consumers, not re-exported here: pulling it in would make
+# the kernel-only suite pay the whole repro.cosim + repro.testkit import.
 from benchmarks.perf.workloads import WORKLOADS, Workload
 
 __all__ = [

@@ -1,0 +1,246 @@
+"""Command-line entry point: ``python -m benchmarks.perf.cosim``.
+
+The co-simulation counterpart of ``python -m benchmarks.perf``: times the
+end-to-end backplane workloads of :mod:`benchmarks.perf.cosim_workloads`
+and merges labelled runs into ``BENCH_cosim.json`` (same file format as
+``BENCH_kernel.json``; the shared ``n_processes`` key holds the workload's
+scale — modules or networks).  Typical sequence::
+
+    python -m benchmarks.perf.cosim --label seed --fsm-mode interpreted
+    python -m benchmarks.perf.cosim --label current          # compiled tier
+    python -m benchmarks.perf.cosim --quick --label quick-baseline
+    python -m benchmarks.perf.cosim --quick --check          # CI gate
+
+``seed`` is recorded with the interpreted tier (the pre-compile-tier
+behaviour) and ``current`` with the compiled tier, so the file's speedup
+table *is* the compile tier's win; the acceptance criterion demands
+:data:`ACCEPTANCE_THRESHOLD` x on the transition-rate workload's largest
+point.  ``--check`` re-times the quick tier and fails when any point is
+more than ``--max-slowdown`` slower than the recorded baseline label —
+the CI regression gate.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.perf.cosim_workloads import COSIM_WORKLOADS
+from benchmarks.perf.harness import update_bench_file
+
+#: Required speedup of ``current`` (compiled) over ``seed`` (interpreted).
+ACCEPTANCE_THRESHOLD = 5.0
+
+#: The (workload, scale) point the acceptance criterion is read from.
+ACCEPTANCE_POINT = ("transition_rate", 32)
+
+#: Tolerated wall-clock ratio of a quick --check run vs. the recorded
+#: baseline before the gate fails (absorbs runner-hardware variance).
+DEFAULT_MAX_SLOWDOWN = 2.0
+
+DEFAULT_BASELINE_LABEL = "quick-baseline"
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[2] / "BENCH_cosim.json"
+
+SCHEMA = "bench-cosim/1"
+
+
+def time_cosim_point(workload, size, fsm_mode, quick=False, repeats=1):
+    """Time one (workload, scale) point; returns a result dict.
+
+    The session is prepared — model built, signals registered, FSM programs
+    compiled — outside the timed region; only the simulation run is timed.
+    With *repeats* > 1 the minimum wall-clock is kept.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = None
+    statistics = None
+    counters = None
+    for _ in range(repeats):
+        session, run = workload.prepare(size, fsm_mode, quick=quick)
+        start = time.perf_counter()
+        run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            statistics = dict(session.simulator.statistics)
+            counters = session.fsm_counters()
+    return {
+        "workload": workload.name,
+        "n_processes": size,
+        "fsm_mode": fsm_mode,
+        "sim_ns": session.simulator.now,
+        "wall_s": best,
+        "statistics": statistics,
+        "fsm": counters,
+    }
+
+
+def run_cosim_suite(quick=False, fsm_mode="compiled", repeats=1,
+                    workloads=None, progress=None):
+    """Run every cosim workload over its scale sweep; returns a run dict."""
+    results = []
+    for workload in (workloads or COSIM_WORKLOADS):
+        sizes = workload.quick_sizes if quick else workload.sizes
+        for size in sizes:
+            point = time_cosim_point(workload, size, fsm_mode, quick=quick,
+                                     repeats=repeats)
+            results.append(point)
+            if progress is not None:
+                progress(
+                    f"{workload.name:<16} n={size:<4} mode={fsm_mode:<11} "
+                    f"wall={point['wall_s']:.4f}s "
+                    f"fsm_steps={point['fsm']['steps']}"
+                )
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "quick": bool(quick),
+        "fsm_mode": fsm_mode,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": results,
+    }
+
+
+def check_against_baseline(baseline_run, run, max_slowdown=DEFAULT_MAX_SLOWDOWN):
+    """Compare *run* to *baseline_run* point-by-point; returns (ok, lines).
+
+    Shared (workload, scale) points whose wall-clock exceeds
+    ``max_slowdown * baseline`` fail the gate.  Having **no** shared points
+    also fails — a silently vacuous gate is worse than a missing one.
+    """
+    baseline = {(p["workload"], p["n_processes"]): p["wall_s"]
+                for p in baseline_run.get("results", ())}
+    lines = []
+    ok = True
+    shared = 0
+    for point in run.get("results", ()):
+        key = (point["workload"], point["n_processes"])
+        if key not in baseline:
+            continue
+        shared += 1
+        ratio = (point["wall_s"] / baseline[key]) if baseline[key] > 0 else 0.0
+        verdict = "ok" if ratio <= max_slowdown else "REGRESSED"
+        if ratio > max_slowdown:
+            ok = False
+        lines.append(f"{key[0]:<16} n={key[1]:<4} baseline={baseline[key]:.4f}s "
+                     f"now={point['wall_s']:.4f}s x{ratio:.2f} {verdict}")
+    if not shared:
+        ok = False
+        lines.append("no shared points between this run and the baseline")
+    return ok, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf.cosim",
+        description="Time end-to-end co-simulation workloads and merge the "
+                    "results into BENCH_cosim.json.",
+    )
+    parser.add_argument("--label", default="current",
+                        help="label to store this run under (default: "
+                             "current; use 'seed' with --fsm-mode "
+                             "interpreted to record the baseline)")
+    parser.add_argument("--fsm-mode", default="compiled",
+                        choices=("compiled", "interpreted"),
+                        help="FSM execution tier to benchmark")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        help="result JSON path (default: repo-root "
+                             "BENCH_cosim.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: small scales and short horizons")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timed repetitions per point; best is kept")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print results without touching the JSON file")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: run the quick tier and fail "
+                             "when any point is more than --max-slowdown "
+                             "slower than the recorded baseline label")
+    parser.add_argument("--baseline-label", default=DEFAULT_BASELINE_LABEL,
+                        help="label --check compares against (default: "
+                             f"{DEFAULT_BASELINE_LABEL})")
+    parser.add_argument("--max-slowdown", type=float,
+                        default=DEFAULT_MAX_SLOWDOWN,
+                        help="tolerated wall-clock ratio for --check "
+                             f"(default: {DEFAULT_MAX_SLOWDOWN})")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+
+    if args.check:
+        path = Path(args.output)
+        if not path.exists():
+            print(f"error: no {path} to check against; record a "
+                  f"'{args.baseline_label}' run first", file=sys.stderr)
+            return 1
+        document = json.loads(path.read_text())
+        baseline_run = document.get("runs", {}).get(args.baseline_label)
+        if baseline_run is None:
+            print(f"error: {path} has no '{args.baseline_label}' run; "
+                  f"record one with --quick --label {args.baseline_label}",
+                  file=sys.stderr)
+            return 1
+        baseline_mode = baseline_run.get("fsm_mode")
+        if baseline_mode != args.fsm_mode:
+            # A baseline recorded on the wrong tier would make the gate
+            # trivially green (or red); refuse rather than mislead.
+            print(f"error: baseline '{args.baseline_label}' was recorded "
+                  f"with fsm_mode={baseline_mode!r}, the check runs "
+                  f"{args.fsm_mode!r}; re-record the baseline",
+                  file=sys.stderr)
+            return 1
+        if not baseline_run.get("quick"):
+            # A full-tier baseline does ~10x the quick tier's work per
+            # point, which would make every ratio trivially green.
+            print(f"error: baseline '{args.baseline_label}' was not "
+                  "recorded with --quick; re-record it with "
+                  f"--quick --label {args.baseline_label}", file=sys.stderr)
+            return 1
+        run = run_cosim_suite(quick=True, fsm_mode=args.fsm_mode,
+                              repeats=max(args.repeats, 3), progress=print)
+        ok, lines = check_against_baseline(baseline_run, run,
+                                           max_slowdown=args.max_slowdown)
+        # Hardware-independent part of the gate: with the compiled tier
+        # requested, every FSM step must actually take the compiled path.
+        if args.fsm_mode == "compiled":
+            for point in run["results"]:
+                counters = point["fsm"]
+                if counters["fallback"] or not counters["compile_hits"]:
+                    ok = False
+                    lines.append(
+                        f"{point['workload']:<16} n={point['n_processes']:<4} "
+                        f"lost the compiled fast path: {counters}"
+                    )
+        print()
+        print("\n".join(lines))
+        print(f"cosim quick gate: {'PASS' if ok else 'FAIL'} "
+              f"(max slowdown {args.max_slowdown}x vs "
+              f"'{args.baseline_label}')")
+        return 0 if ok else 1
+
+    run = run_cosim_suite(quick=args.quick, fsm_mode=args.fsm_mode,
+                          repeats=args.repeats, progress=print)
+    if args.no_write:
+        print(json.dumps(run, indent=2))
+        return 0
+    document = update_bench_file(args.output, args.label, run,
+                                 schema=SCHEMA, point=ACCEPTANCE_POINT,
+                                 threshold=ACCEPTANCE_THRESHOLD)
+    print(f"\nwrote label {args.label!r} to {args.output}")
+    acceptance = document.get("acceptance")
+    if acceptance is not None:
+        verdict = "PASS" if acceptance["pass"] else "FAIL"
+        print(f"acceptance ({acceptance['point']['workload']} "
+              f"n={acceptance['point']['n_processes']}): "
+              f"speedup={acceptance['speedup']} "
+              f"threshold={acceptance['threshold']} -> {verdict}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

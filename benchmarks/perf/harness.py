@@ -110,13 +110,16 @@ def _index_results(run):
     }
 
 
-def compute_speedups(seed_run, current_run):
+def compute_speedups(seed_run, current_run, point=ACCEPTANCE_POINT,
+                     threshold=ACCEPTANCE_THRESHOLD):
     """Per-point ``seed / current`` wall-clock ratios plus the verdict.
 
     Only points present in *both* runs are compared (a quick seed run and a
     full current run share only their small points).  Returns
     ``(speedup, acceptance)`` where *speedup* maps workload name to
-    ``{str(n): ratio}`` and *acceptance* reports the roadmap criterion.
+    ``{str(n): ratio}`` and *acceptance* reports the criterion at *point*
+    against *threshold* (defaults: this suite's roadmap criterion; the
+    cosim suite passes its own).
     """
     seed_index = _index_results(seed_run)
     current_index = _index_results(current_run)
@@ -126,34 +129,37 @@ def compute_speedups(seed_run, current_run):
         current_wall = current_index[key]
         ratio = (seed_index[key] / current_wall) if current_wall > 0 else float("inf")
         speedup.setdefault(workload, {})[str(n_processes)] = round(ratio, 2)
-    target = speedup.get(ACCEPTANCE_POINT[0], {}).get(str(ACCEPTANCE_POINT[1]))
+    target = speedup.get(point[0], {}).get(str(point[1]))
     acceptance = {
-        "point": {"workload": ACCEPTANCE_POINT[0],
-                  "n_processes": ACCEPTANCE_POINT[1]},
-        "threshold": ACCEPTANCE_THRESHOLD,
+        "point": {"workload": point[0], "n_processes": point[1]},
+        "threshold": threshold,
         "speedup": target,
-        "pass": (target is not None and target >= ACCEPTANCE_THRESHOLD),
+        "pass": (target is not None and target >= threshold),
     }
     return speedup, acceptance
 
 
-def update_bench_file(path, label, run):
+def update_bench_file(path, label, run, schema=SCHEMA, point=ACCEPTANCE_POINT,
+                      threshold=ACCEPTANCE_THRESHOLD):
     """Merge one labelled *run* into the JSON file at *path*; returns the doc.
 
     Existing labels are preserved (re-running a label overwrites only that
     label).  Speedups and the acceptance verdict are recomputed whenever
-    both ``seed`` and ``current`` are present.
+    both ``seed`` and ``current`` are present.  *schema*, *point* and
+    *threshold* default to this (kernel) suite's values; the cosim suite
+    reuses the same file format with its own.
     """
     path = Path(path)
     if path.exists():
         document = json.loads(path.read_text())
     else:
-        document = {"schema": SCHEMA, "runs": {}}
-    document.setdefault("schema", SCHEMA)
+        document = {"schema": schema, "runs": {}}
+    document.setdefault("schema", schema)
     document.setdefault("runs", {})[label] = run
     runs = document["runs"]
     if "seed" in runs and "current" in runs:
-        speedup, acceptance = compute_speedups(runs["seed"], runs["current"])
+        speedup, acceptance = compute_speedups(runs["seed"], runs["current"],
+                                               point=point, threshold=threshold)
         document["speedup"] = speedup
         document["acceptance"] = acceptance
     path.write_text(json.dumps(document, indent=2) + "\n")

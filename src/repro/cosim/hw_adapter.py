@@ -14,7 +14,8 @@ from repro.ir.interp import FsmInstance
 class HardwareAdapter:
     """Drives the processes of one hardware module inside a co-simulation."""
 
-    def __init__(self, module, simulator, clock, accessor, registry):
+    def __init__(self, module, simulator, clock, accessor, registry,
+                 fsm_mode=None):
         self.module = module
         self.simulator = simulator
         self.clock = clock
@@ -27,15 +28,21 @@ class HardwareAdapter:
                 ports=accessor,
                 call_handler=registry.call_handler(),
                 trace=False,
+                mode=fsm_mode,
             )
         self.cycles = 0
         self._register()
 
     def _register(self):
+        # The instance list is immutable after construction; binding it (and
+        # the step methods) locally keeps the per-edge cost of an adapter
+        # proportional to its FSM work, not to attribute traffic.
+        steppers = [instance.step for instance in self.instances.values()]
+
         def on_posedge():
             self.cycles += 1
-            for instance in self.instances.values():
-                instance.step()
+            for step in steppers:
+                step()
 
         self.simulator.add_clocked_process(f"{self.module.name}_clked",
                                            on_posedge, self.clock)

@@ -27,7 +27,7 @@ from repro.cosim.tracing import ServiceCallTrace
 from repro.core.module import HardwareModule, SoftwareModule
 from repro.core.validation import validate_model
 from repro.desim import Timeout, WaveformRecorder, create_simulator
-from repro.ir.interp import FsmInstance
+from repro.ir.interp import DEFAULT_FSM_MODE, FSM_MODES, FsmInstance
 from repro.utils.errors import SimulationError
 
 
@@ -57,6 +57,7 @@ class CosimResult:
         self.monitor_violations = {
             monitor.name: list(monitor.violations) for monitor in session.monitors
         }
+        self.fsm_counters = session.fsm_counters()
 
     @property
     def all_monitors_ok(self):
@@ -71,6 +72,7 @@ class CosimResult:
             "sw_activations": self.sw_activations,
             "hw_cycles": self.hw_cycles,
             "monitors_ok": self.all_monitors_ok,
+            "fsm": dict(self.fsm_counters),
         }
 
     def __repr__(self):
@@ -82,7 +84,8 @@ class CosimSession:
 
     def __init__(self, model, library=None, clock_period=100,
                  sw_activation_period=None, activation_policy=None,
-                 validate=True, trace_signals=True, kernel="production"):
+                 validate=True, trace_signals=True, kernel="production",
+                 fsm_mode=None):
         if validate:
             validate_model(model, library=library)
         self.model = model
@@ -92,6 +95,13 @@ class CosimSession:
         self.activation_policy = activation_policy or OneTransitionPerActivation()
         self.trace_signals = trace_signals
         self.kernel = kernel
+        if fsm_mode is None:
+            fsm_mode = DEFAULT_FSM_MODE
+        if fsm_mode not in FSM_MODES:
+            raise SimulationError(
+                f"unknown fsm_mode {fsm_mode!r}; expected one of {FSM_MODES}"
+            )
+        self.fsm_mode = fsm_mode
 
         self.simulator = create_simulator(kernel)
         self.trace = ServiceCallTrace()
@@ -161,7 +171,8 @@ class CosimSession:
             for controller in unit.controllers:
                 accessor = SignalPortAccessor(self.simulator, signals,
                                               writer=f"{unit.name}.{controller.name}")
-                instance = FsmInstance(controller.fsm, ports=accessor)
+                instance = FsmInstance(controller.fsm, ports=accessor,
+                                       mode=self.fsm_mode)
                 self.controller_instances[f"{unit.name}.{controller.name}"] = instance
                 self.simulator.add_clocked_process(
                     f"{unit.name}_{controller.name}_clked", instance.step,
@@ -180,6 +191,7 @@ class CosimSession:
                 ServiceInstance(
                     module.name, unit.service(service_name), unit.name, accessor,
                     trace=self.trace, time_fn=lambda: self.simulator.now,
+                    fsm_mode=self.fsm_mode,
                 )
             )
         return registry
@@ -196,13 +208,16 @@ class CosimSession:
             accessor = SignalPortAccessor(self.simulator, signals, writer=module.name)
             registry = self._registry_for(module, software=False)
             self.hw_adapters[module.name] = HardwareAdapter(
-                module, self.simulator, self.clock, accessor, registry
+                module, self.simulator, self.clock, accessor, registry,
+                fsm_mode=self.fsm_mode,
             )
 
     def _build_software(self):
         for module in self.model.software_modules():
             registry = self._registry_for(module, software=True)
-            executor = SoftwareExecutor(module, registry, policy=self.activation_policy)
+            executor = SoftwareExecutor(module, registry,
+                                        policy=self.activation_policy,
+                                        fsm_mode=self.fsm_mode)
             self.sw_executors[module.name] = executor
             period = module.activation_period or self.sw_activation_period
 
@@ -281,6 +296,9 @@ class CosimSession:
             "format": 1,
             "system": self.model.name,
             "kernel": self.kernel,
+            # Informational only: compiled and interpreted execution are
+            # byte-identical, so a checkpoint restores into either tier.
+            "fsm_mode": self.fsm_mode,
             "clock_period": self.clock_period,
             "sw_activation_period": self.sw_activation_period,
             "policy": self.activation_policy.name,
@@ -369,6 +387,40 @@ class CosimSession:
         return self
 
     # ------------------------------------------------------------------ query
+
+    def fsm_instances(self):
+        """Yield every FSM instance the session executes.
+
+        Covers communication-unit controllers, hardware-module processes,
+        software-module FSMs and every bound service instance — the complete
+        population whose execution tier and counters the session owns.
+        """
+        yield from self.controller_instances.values()
+        for adapter in self.hw_adapters.values():
+            yield from adapter.instances.values()
+            for service in adapter.registry.instances():
+                yield service.instance
+        for executor in self.sw_executors.values():
+            yield executor.instance
+            for service in executor.registry.instances():
+                yield service.instance
+
+    def fsm_counters(self):
+        """Aggregate execution-tier counters across every FSM instance.
+
+        ``steps`` / ``transitions_fired`` measure behavioural activity;
+        ``compile_hits`` / ``fallback`` split the steps by execution tier
+        (compiled program vs. tree-walking interpreter), so a silent loss of
+        the fast path shows up in artefacts, not just wall-clock.
+        """
+        totals = {"steps": 0, "transitions_fired": 0,
+                  "compile_hits": 0, "fallback": 0}
+        for instance in self.fsm_instances():
+            totals["steps"] += instance.steps
+            totals["transitions_fired"] += instance.transitions_fired
+            totals["compile_hits"] += instance.compile_hits
+            totals["fallback"] += instance.fallback
+        return totals
 
     def unit_signal(self, unit_name, port_name):
         """The simulation signal of a communication-unit port."""

@@ -21,7 +21,7 @@ from repro.ir.interp import FsmInstance, NullPortAccessor
 class SoftwareExecutor:
     """Drives one software module's FSM inside a co-simulation."""
 
-    def __init__(self, module, registry, policy=None, ports=None):
+    def __init__(self, module, registry, policy=None, ports=None, fsm_mode=None):
         self.module = module
         self.registry = registry
         self.policy = policy or OneTransitionPerActivation()
@@ -30,6 +30,7 @@ class SoftwareExecutor:
             ports=ports or NullPortAccessor(),
             call_handler=registry.call_handler(),
             trace=True,
+            mode=fsm_mode,
         )
         self.activations = 0
         self.transitions = 0
@@ -53,9 +54,23 @@ class SoftwareExecutor:
         return results
 
     def state_history(self):
-        """Sequence of states visited (from the FSM instance trace)."""
-        visited = [self.module.fsm.initial]
-        for result in self.instance.history:
+        """Sequence of states visited, from the FSM instance trace.
+
+        The trace is a ring buffer (``FsmInstance(history_limit=...)``): when
+        a very long run has evicted its oldest entries, the reconstruction
+        starts from the first *retained* step's source state instead of the
+        initial state, so the returned sequence is always an accurate
+        (possibly truncated-at-the-front) suffix — never a sequence that
+        silently skips from the initial state to late-run states.
+        """
+        history = self.instance.history
+        evicted = (history.maxlen is not None
+                   and self.instance.steps > len(history))
+        if evicted and history:
+            visited = [history[0].from_state]
+        else:
+            visited = [self.module.fsm.initial]
+        for result in history:
             if result.fired:
                 visited.append(result.to_state)
         return visited

@@ -107,10 +107,12 @@ class Simulator:
         self._future = []
         # Transactions for the next delta of the current time: [(signal, value)].
         self._delta_queue = []
-        # Signal name -> dict of sensitivity-list process names (dict, not
-        # set: iteration must follow registration order, so same-delta run
-        # order is identical in every interpreter process regardless of
-        # PYTHONHASHSEED — seeded co-simulations depend on it).
+        # Signal name -> {process name: Process} (dict, not set: iteration
+        # must follow registration order, so same-delta run order is
+        # identical in every interpreter process regardless of
+        # PYTHONHASHSEED — seeded co-simulations depend on it).  The values
+        # hold the Process objects so waking a fully-active population costs
+        # one dict-values iteration, not a name lookup per process per delta.
         self._sensitivity = {}
         # Deadline index: heap of (resume_at, seq, _GenWait), lazily pruned.
         self._timeout_heap = []
@@ -180,7 +182,7 @@ class Simulator:
                           rearmable=rearmable)
         self.processes[name] = process
         for signal in process.sensitivity:
-            self._sensitivity.setdefault(signal.name, {})[process.name] = None
+            self._sensitivity.setdefault(signal.name, {})[process.name] = process
         return process
 
     def add_clocked_process(self, name, func, clock, edge=1):
@@ -399,18 +401,22 @@ class Simulator:
 
     def _drain_deltas(self):
         self.delta = 0
+        statistics = self.statistics
         while True:
             changed = self._update_phase()
             runnable = self._collect_runnable(changed)
-            runnable.extend(self._expired_waits())
+            expired = self._expired_waits()
+            if expired:
+                runnable.extend(expired)
             if not changed and not runnable and not self._delta_queue:
                 break
             self._run_processes(runnable)
             for signal in changed:
                 signal.clear_event()
-            self._check_monitors()
+            if self.monitors:
+                self._check_monitors()
             self.delta += 1
-            self.statistics["delta_cycles"] += 1
+            statistics["delta_cycles"] += 1
             if self.delta > self.max_deltas:
                 raise SimulationError(
                     f"delta-cycle limit exceeded at {format_time(self.now)}; "
@@ -433,13 +439,16 @@ class Simulator:
                 staged.append(signal)
             signal.stage(value)
         changed = []
+        now = self.now
+        recorders = self.recorders
+        signals = self.signals
         for signal in staged:
             signal._staged = False
-            if signal.apply_pending(self.now):
+            if signal.apply_pending(now):
                 changed.append(signal)
-                if signal.name in self.signals:
-                    for recorder in self.recorders:
-                        recorder.record(self.now, signal)
+                if recorders and signal.name in signals:
+                    for recorder in recorders:
+                        recorder.record(now, signal)
         return changed
 
     def _collect_runnable(self, changed):
@@ -449,16 +458,36 @@ class Simulator:
         index; suspended generators come from the per-signal ``_waiters``
         lists, which are popped wholesale (their live entries wake, their
         stale entries drop).  Nothing here iterates over the full process
-        population.
+        population, and the dominant single-changed-signal delta (a clock
+        edge) collects its runnables with one dict-values copy — no dedup
+        set, no per-process lookups.
         """
+        sensitivity = self._sensitivity
+        waiters_index = self._waiters
+        if len(changed) == 1:
+            signal = changed[0]
+            procs = sensitivity.get(signal.name)
+            runnable = list(procs.values()) if procs else []
+            waiters = waiters_index.pop(id(signal), None)
+            if waiters:
+                self._waiter_stale.pop(id(signal), None)
+                for wait in waiters:
+                    if wait.done:
+                        continue
+                    self._wake(wait)
+                    runnable.append(wait.process)
+                self._next_time_dirty = True
+            return runnable
         runnable = []
         picked = set()
         for signal in changed:
-            for proc_name in self._sensitivity.get(signal.name, ()):
-                if proc_name not in picked:
-                    picked.add(proc_name)
-                    runnable.append(self.processes[proc_name])
-            waiters = self._waiters.pop(id(signal), None)
+            procs = sensitivity.get(signal.name)
+            if procs:
+                for process in procs.values():
+                    if process not in picked:
+                        picked.add(process)
+                        runnable.append(process)
+            waiters = waiters_index.pop(id(signal), None)
             if waiters:
                 self._waiter_stale.pop(id(signal), None)
                 for wait in waiters:
@@ -470,14 +499,30 @@ class Simulator:
         return runnable
 
     def _run_processes(self, runnable):
+        """Run every process in *runnable*, re-suspending generators.
+
+        This is the innermost kernel loop (one iteration per process run):
+        sensitivity-list processes — always runnable when their signal
+        fires, the dominant co-simulation shape — take a direct-call fast
+        path with no generator bookkeeping, and the run statistic is
+        accumulated locally and added once.
+        """
+        if not runnable:
+            return
+        runs = 0
+        suspend = self._suspend
         for process in runnable:
             if process.finished:
                 continue
-            self.statistics["process_runs"] += 1
-            condition = process.step()
-            if not process.is_generator or process.finished:
-                continue
-            self._suspend(process, condition)
+            runs += 1
+            if process.is_generator:
+                condition = process.step()
+                if not process.finished:
+                    suspend(process, condition)
+            else:
+                process.run_count += 1
+                process.func()
+        self.statistics["process_runs"] += runs
 
     def _suspend(self, process, condition):
         """Park a generator process until *condition* is met.

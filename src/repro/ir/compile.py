@@ -1,0 +1,361 @@
+"""The compiled execution tier of the behavioural IR.
+
+:mod:`repro.ir.interp` executes FSMs by walking the expression tree through
+``isinstance``-dispatched ``evaluate``/``execute`` — one Python-level
+recursion per IR node, every transition, every delta cycle.  That is the
+right *oracle* (small, obviously correct) but the wrong hot path: the
+co-simulation backplane steps thousands of FSM instances per simulated
+microsecond.
+
+This module translates an :class:`~repro.ir.fsm.Fsm` **once** into plain
+Python code objects:
+
+* every expression becomes Python source with the interpreter's exact
+  semantics (truncating division, eager ``and``/``or`` with 0/1 results,
+  integer comparisons) — ``env[...]``/``ports.read(...)`` access compiled
+  to native bytecode instead of per-node dispatch,
+* every state's action list becomes one function ``(env, ports) -> None``,
+* a state whose transitions carry no service calls gets a single
+  **stepper** ``(env, ports) -> (next_state, fired)`` inlining actions,
+  guards and transition actions into one code object,
+* service-call transitions keep a thin driver loop (the call handler is
+  user code), with guard / actions / argument evaluation compiled.
+
+The generated program is observably **byte-identical** to the interpreter:
+same values, same port read/write sequence (``and``/``or`` do not
+short-circuit, exactly like ``evaluate``), same exception types and
+messages, same :class:`~repro.ir.interp.StepResult` stream.  The
+differential suite in ``tests/test_ir_compile.py`` and the conformance
+kit's ``--fsm-mode`` pin that equivalence.
+
+Programs are cached per :class:`~repro.ir.fsm.Fsm` in a weak-key map and
+shared by every :class:`~repro.ir.interp.FsmInstance` of that FSM; the
+cache assumes the FSM is not structurally mutated (``add_transition``)
+after its first instance is built — call :func:`compile_fsm` with
+``force=True`` after such a mutation.
+"""
+
+import weakref
+
+from repro.ir.expr import BinOp, Const, PortRef, UnOp, Var
+from repro.ir.interp import _int_div, _int_mod
+from repro.ir.stmt import Assign, If, Nop, PortWrite
+from repro.utils.errors import SimulationError
+
+
+class CompileError(SimulationError):
+    """The FSM contains a node the compile tier cannot translate."""
+
+
+def _eager_and(a, b):
+    # int(bool(a) and bool(b)) with both operands already evaluated.
+    return 1 if a and b else 0
+
+
+def _eager_or(a, b):
+    return 1 if a or b else 0
+
+
+#: Globals shared by every generated code object.  The helpers reproduce the
+#: interpreter's operator semantics exactly (see ``_BINARY_FUNCS``).
+_GENERATED_GLOBALS = {
+    "SimulationError": SimulationError,
+    "_div": _int_div,
+    "_mod": _int_mod,
+    "_and": _eager_and,
+    "_or": _eager_or,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "bool": bool,
+}
+
+#: Binary operators emitted as native Python operators.  Comparisons wrap in
+#: ``1 if .. else 0`` to match the interpreter's integer results; both
+#: operands of every operator are evaluated (Python evaluates both sides of
+#: ``+``/``==`` etc., and ``and``/``or``/``div``/``mod`` go through eager
+#: helper calls), preserving the interpreter's port-read sequence.
+_BINOP_TEMPLATES = {
+    "add": "({} + {})",
+    "sub": "({} - {})",
+    "mul": "({} * {})",
+    "div": "_div({}, {})",
+    "mod": "_mod({}, {})",
+    "eq": "(1 if {} == {} else 0)",
+    "ne": "(1 if {} != {} else 0)",
+    "lt": "(1 if {} < {} else 0)",
+    "le": "(1 if {} <= {} else 0)",
+    "gt": "(1 if {} > {} else 0)",
+    "ge": "(1 if {} >= {} else 0)",
+    "and": "_and({}, {})",
+    "or": "_or({}, {})",
+    "xor": "(1 if bool({}) != bool({}) else 0)",
+    "min": "min({}, {})",
+    "max": "max({}, {})",
+}
+
+_UNOP_TEMPLATES = {
+    "not": "(0 if {} else 1)",
+    "neg": "(- {})",
+    "abs": "abs({})",
+}
+
+#: Exception epilogue of every generated function.  A ``KeyError`` is only
+#: reported as the interpreter's ``undefined variable`` error when it names
+#: a variable this code reads *and* that variable really is absent from the
+#: environment — a ``KeyError`` escaping a user-supplied port accessor (or
+#: call handler, on the driver path) propagates unchanged, exactly as it
+#: does through the interpreted tier.
+_EXCEPT_SUFFIX = (
+    "    except KeyError as exc:\n"
+    "        _key = exc.args[0] if exc.args else None\n"
+    "        if _key in _env_reads and _key not in env:\n"
+    "            raise SimulationError('undefined variable %r' % (_key,)) "
+    "from None\n"
+    "        raise"
+)
+
+
+def _expr_var_reads(expr, names):
+    """Collect the variable names read by *expr* into *names*."""
+    if isinstance(expr, Var):
+        names.add(expr.name)
+    elif isinstance(expr, BinOp):
+        _expr_var_reads(expr.left, names)
+        _expr_var_reads(expr.right, names)
+    elif isinstance(expr, UnOp):
+        _expr_var_reads(expr.operand, names)
+
+
+def _stmt_var_reads(statements, names):
+    """Collect the variable names read by a statement list into *names*."""
+    for stmt in statements:
+        if isinstance(stmt, (Assign, PortWrite)):
+            _expr_var_reads(stmt.expr, names)
+        elif isinstance(stmt, If):
+            _expr_var_reads(stmt.cond, names)
+            _stmt_var_reads(stmt.then, names)
+            _stmt_var_reads(stmt.orelse, names)
+
+
+def expr_source(expr):
+    """Python source with the exact value semantics of :func:`evaluate`.
+
+    Constants are emitted as literals (CPython's peephole folds constant
+    subtrees for free); variable reads become ``env[...]`` — the enclosing
+    generated function converts a ``KeyError`` into the interpreter's
+    ``undefined variable`` :class:`SimulationError`.
+    """
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Var):
+        return f"env[{expr.name!r}]"
+    if isinstance(expr, PortRef):
+        return f"ports.read({expr.port_name!r})"
+    if isinstance(expr, BinOp):
+        return _BINOP_TEMPLATES[expr.op].format(
+            expr_source(expr.left), expr_source(expr.right)
+        )
+    if isinstance(expr, UnOp):
+        return _UNOP_TEMPLATES[expr.op].format(expr_source(expr.operand))
+    raise CompileError(f"cannot compile expression {expr!r}")
+
+
+def _emit_stmts(statements, lines, depth):
+    """Append the statements' source at *depth* (no ``pass`` padding)."""
+    pad = "    " * depth
+    for stmt in statements:
+        if isinstance(stmt, Assign):
+            lines.append(f"{pad}env[{stmt.target!r}] = {expr_source(stmt.expr)}")
+        elif isinstance(stmt, PortWrite):
+            lines.append(
+                f"{pad}ports.write({stmt.port_name!r}, {expr_source(stmt.expr)})"
+            )
+        elif isinstance(stmt, If):
+            lines.append(f"{pad}if {expr_source(stmt.cond)}:")
+            _emit_block(stmt.then, lines, depth + 1)
+            if stmt.orelse:
+                lines.append(f"{pad}else:")
+                _emit_block(stmt.orelse, lines, depth + 1)
+        elif isinstance(stmt, Nop):
+            pass
+        else:
+            raise CompileError(f"cannot compile statement {stmt!r}")
+
+
+def _emit_block(statements, lines, depth):
+    """Like :func:`_emit_stmts` but never leaves an empty suite behind."""
+    before = len(lines)
+    _emit_stmts(statements, lines, depth)
+    if len(lines) == before:
+        lines.append("    " * depth + "pass")
+
+
+def _build(name, lines, env_reads):
+    """``exec`` the generated def and return (function, source)."""
+    source = "\n".join(lines)
+    namespace = dict(_GENERATED_GLOBALS)
+    namespace["_env_reads"] = frozenset(env_reads)
+    exec(compile(source, f"<ir:{name}>", "exec"), namespace)  # noqa: S102
+    return namespace[name], source
+
+
+def compile_expr_fn(expr, name="_ir_expr"):
+    """Compile one expression into ``fn(env, ports) -> value``."""
+    lines = [
+        f"def {name}(env, ports):",
+        "    try:",
+        f"        return {expr_source(expr)}",
+        _EXCEPT_SUFFIX,
+    ]
+    reads = set()
+    _expr_var_reads(expr, reads)
+    return _build(name, lines, reads)[0]
+
+
+def compile_block_fn(statements, name="_ir_block"):
+    """Compile a statement list into ``fn(env, ports)``; None when empty."""
+    lines = [f"def {name}(env, ports):", "    try:"]
+    before = len(lines)
+    _emit_stmts(statements, lines, 2)
+    if len(lines) == before:
+        return None
+    lines.append(_EXCEPT_SUFFIX)
+    reads = set()
+    _stmt_var_reads(statements, reads)
+    return _build(name, lines, reads)[0]
+
+
+def compile_args_fn(args, name="_ir_args"):
+    """Compile service-call arguments into ``fn(env, ports) -> list``."""
+    if not args:
+        return None
+    items = ", ".join(expr_source(arg) for arg in args)
+    lines = [
+        f"def {name}(env, ports):",
+        "    try:",
+        f"        return [{items}]",
+        _EXCEPT_SUFFIX,
+    ]
+    reads = set()
+    for arg in args:
+        _expr_var_reads(arg, reads)
+    return _build(name, lines, reads)[0]
+
+
+class CompiledTransition:
+    """Driver-loop form of one transition (used when the state has calls)."""
+
+    __slots__ = ("target", "guard", "actions", "call", "service", "store", "args")
+
+    def __init__(self, transition, prefix):
+        self.target = transition.target
+        self.guard = (
+            compile_expr_fn(transition.guard, f"{prefix}_guard")
+            if transition.guard is not None else None
+        )
+        self.actions = compile_block_fn(transition.actions, f"{prefix}_actions")
+        call = transition.call
+        self.call = call
+        if call is not None:
+            self.service = call.service
+            self.store = call.store
+            self.args = compile_args_fn(call.args, f"{prefix}_args")
+        else:
+            self.service = None
+            self.store = None
+            self.args = None
+
+
+class CompiledState:
+    """One state of a compiled program.
+
+    ``stepper`` is the single-code-object fast path ``(env, ports) ->
+    (next_state, fired)`` for states without service calls; call states set
+    it to ``None`` and are driven through ``actions``/``transitions`` by
+    :meth:`FsmInstance._run_call_transitions`.
+    """
+
+    __slots__ = ("name", "stepper", "actions", "transitions", "source")
+
+    def __init__(self, fsm, state):
+        self.name = state.name
+        prefix = f"_ir__{fsm.name}__{state.name}"
+        if any(t.call is not None for t in state.transitions):
+            self.stepper = None
+            self.source = None
+            self.actions = compile_block_fn(state.actions, f"{prefix}_entry")
+            self.transitions = tuple(
+                CompiledTransition(transition, f"{prefix}_t{index}")
+                for index, transition in enumerate(state.transitions)
+            )
+        else:
+            self.actions = None
+            self.transitions = ()
+            self.stepper, self.source = self._build_stepper(state, prefix)
+
+    @staticmethod
+    def _build_stepper(state, prefix):
+        name = f"{prefix}_step"
+        lines = [f"def {name}(env, ports):", "    try:"]
+        reads = set()
+        _stmt_var_reads(state.actions, reads)
+        _emit_stmts(state.actions, lines, 2)
+        exhaustive = False
+        for transition in state.transitions:
+            _stmt_var_reads(transition.actions, reads)
+            if transition.guard is not None:
+                _expr_var_reads(transition.guard, reads)
+                lines.append(f"        if {expr_source(transition.guard)}:")
+                _emit_stmts(transition.actions, lines, 3)
+                lines.append(f"            return ({transition.target!r}, True)")
+            else:
+                _emit_stmts(transition.actions, lines, 2)
+                lines.append(f"        return ({transition.target!r}, True)")
+                exhaustive = True
+                break  # later transitions are unreachable, as in the oracle
+        if not exhaustive:
+            lines.append(f"        return ({state.name!r}, False)")
+        lines.append(_EXCEPT_SUFFIX)
+        return _build(name, lines, reads)
+
+
+class CompiledFsm:
+    """The per-FSM compiled program, shared by all its instances."""
+
+    __slots__ = ("name", "initial", "done_states", "result_var", "states",
+                 "__weakref__")
+
+    def __init__(self, fsm):
+        self.name = fsm.name
+        self.initial = fsm.initial
+        self.done_states = fsm.done_states
+        self.result_var = fsm.result_var
+        self.states = {
+            state.name: CompiledState(fsm, state) for state in fsm.iter_states()
+        }
+
+    def __repr__(self):
+        return f"CompiledFsm({self.name}, states={len(self.states)})"
+
+
+#: fsm -> CompiledFsm.  Weak keys keep FSM descriptions collectable and the
+#: Fsm objects free of unpicklable code-object attributes.
+_PROGRAM_CACHE = weakref.WeakKeyDictionary()
+
+
+def compile_fsm(fsm, force=False):
+    """Return the (cached) compiled program of *fsm*.
+
+    Raises :class:`CompileError` when the FSM contains expression or
+    statement nodes outside the core IR; callers (``FsmInstance``) fall back
+    to the interpreter in that case.  *force* recompiles after a structural
+    mutation of the FSM.
+    """
+    if not force:
+        program = _PROGRAM_CACHE.get(fsm)
+        if program is not None:
+            return program
+    program = CompiledFsm(fsm)
+    _PROGRAM_CACHE[fsm] = program
+    return program

@@ -119,10 +119,16 @@ class CosimJob(SweepJob):
     kind = "cosim"
 
     def __init__(self, seed, networks=None, kernel="production", until=None,
-                 checkpoint_at=None):
+                 checkpoint_at=None, fsm_mode=None):
         self.seed = int(seed)
         self.networks = None if networks is None else int(networks)
         self.kernel = kernel
+        # Resolved at construction so the job spec — the report/replay
+        # identity — stays explicit even if the project default flips.
+        if fsm_mode is None:
+            from repro.ir.interp import DEFAULT_FSM_MODE
+            fsm_mode = DEFAULT_FSM_MODE
+        self.fsm_mode = fsm_mode
         self.until = None if until is None else int(until)
         self.checkpoint_at = (None if checkpoint_at is None
                               else int(checkpoint_at))
@@ -138,6 +144,7 @@ class CosimJob(SweepJob):
             "seed": self.seed,
             "networks": self.networks,
             "kernel": self.kernel,
+            "fsm_mode": self.fsm_mode,
             "until": self.until,
             "checkpoint_at": self.checkpoint_at,
         }
@@ -151,7 +158,7 @@ class CosimJob(SweepJob):
         from repro.cosim import CosimSession
 
         return CosimSession(system.build_model(), kernel=self.kernel,
-                            **system.cosim_params)
+                            fsm_mode=self.fsm_mode, **system.cosim_params)
 
     def execute(self):
         from repro.testkit.models import generate_system
@@ -180,6 +187,9 @@ class CosimJob(SweepJob):
             "service_calls": len(result.trace),
             "sw_finished_all": all(result.sw_finished.values()),
             "functional_problems": problems,
+            # Execution-tier counters: a sweep silently losing the compiled
+            # fast path shows up here as fallback > 0 / compile_hits == 0.
+            "fsm": dict(result.fsm_counters),
             "fingerprint_digest": content_digest(
                 cosim_fingerprint(session, result)
             ),

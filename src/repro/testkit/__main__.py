@@ -6,6 +6,7 @@ Usage::
     python -m repro.testkit --quick        # < 30 s smoke tier
     python -m repro.testkit --seed-base 1000
     python -m repro.testkit --replay kernel-medium-17
+    python -m repro.testkit --fsm-mode interpreted   # or: differential
     python -m repro.testkit --kernel-scenarios tiny=5 small=2 --cosim 3 --cosyn 1
     python -m repro.testkit --emit-models 5 --networks 4   # generator only
 
@@ -55,6 +56,12 @@ def main(argv=None):
                         help="number of generated systems for the cosim oracle")
     parser.add_argument("--cosyn", type=int, default=None,
                         help="number of generated systems for the cosyn oracle")
+    parser.add_argument("--fsm-mode", default=None,
+                        choices=("compiled", "interpreted", "differential"),
+                        help="FSM execution tier for the cosim oracle: the "
+                             "compiled programs (the project default), the "
+                             "tree-walking interpreter, or 'differential' "
+                             "to cross-check both tiers against each other")
     parser.add_argument("--replay", metavar="NAME",
                         help="re-run one scenario by name and exit")
     parser.add_argument("--emit-models", type=int, metavar="N",
@@ -95,7 +102,7 @@ def main(argv=None):
         return 0
 
     if args.replay:
-        problems = replay(args.replay)
+        problems = replay(args.replay, fsm_mode=args.fsm_mode)
         if problems:
             print("\n".join(problems))
             return 1
@@ -123,7 +130,8 @@ def main(argv=None):
                              cosim_models=cosim_models,
                              cosyn_models=cosyn_models,
                              seed_base=args.seed_base,
-                             progress=progress)
+                             progress=progress,
+                             fsm_mode=args.fsm_mode)
     elapsed = time.perf_counter() - started
     print(report.summary())
     print(f"({elapsed:.1f} s wall clock)")

@@ -26,6 +26,7 @@ prefixed with the generated system's name so a failure pins its seed.
 
 from repro.cosim import CosimSession
 from repro.cosyn import CosynthesisFlow
+from repro.ir.interp import DEFAULT_FSM_MODE
 from repro.platforms import get_platform
 
 #: Generous completion horizon: generated systems transfer < 20 words.
@@ -66,10 +67,14 @@ def run_session_to_completion(session, expectations, max_time=COSIM_MAX_TIME):
     return result
 
 
-def run_cosim(system, kernel):
-    """One fresh co-simulation of *system* on *kernel*; returns (session, result)."""
+def run_cosim(system, kernel, fsm_mode=None):
+    """One fresh co-simulation of *system* on *kernel*; returns (session, result).
+
+    ``fsm_mode=None`` defers to the project default
+    (:data:`repro.ir.interp.DEFAULT_FSM_MODE`), resolved by the session.
+    """
     session = CosimSession(system.build_model(), kernel=kernel,
-                           **system.cosim_params)
+                           fsm_mode=fsm_mode, **system.cosim_params)
     result = run_session_to_completion(session, system.expectations)
     return session, result
 
@@ -149,29 +154,51 @@ def _diff_fingerprints(label, left, right):
     return problems
 
 
-def check_cosim_conformance(system, kernels=("production", "reference")):
-    """Run the full co-simulation oracle on one generated system."""
+def check_cosim_conformance(system, kernels=("production", "reference"),
+                            fsm_mode=None):
+    """Run the full co-simulation oracle on one generated system.
+
+    *fsm_mode* selects the FSM execution tier every run uses (``compiled``
+    or ``interpreted``; ``None`` defers to the project default); the
+    reports must be identical either way.  The special value
+    ``"differential"`` additionally crosses each kernel with **both** tiers
+    and asserts every observable matches across the whole (kernel, tier)
+    matrix — the compiled-vs-interpreted oracle.
+    """
+    if fsm_mode is None:
+        fsm_mode = DEFAULT_FSM_MODE
+    modes = (("compiled", "interpreted") if fsm_mode == "differential"
+             else (fsm_mode,))
+    variants = [(kernel, mode) for kernel in kernels for mode in modes]
+
+    def label(variant):
+        kernel, mode = variant
+        return kernel if len(modes) == 1 else f"{kernel}/{mode}"
+
     problems = []
     fingerprints = {}
     sessions = {}
-    for kernel in kernels:
-        session_a, result_a = run_cosim(system, kernel)
-        session_b, result_b = run_cosim(system, kernel)
+    for variant in variants:
+        kernel, mode = variant
+        session_a, result_a = run_cosim(system, kernel, fsm_mode=mode)
+        session_b, result_b = run_cosim(system, kernel, fsm_mode=mode)
         fingerprint_a = cosim_fingerprint(session_a, result_a)
         fingerprint_b = cosim_fingerprint(session_b, result_b)
         problems.extend(_diff_fingerprints(
-            f"{system.name}: {kernel} kernel not deterministic under fixed seed",
+            f"{system.name}: {label(variant)} kernel not deterministic "
+            "under fixed seed",
             fingerprint_a, fingerprint_b,
         ))
-        fingerprints[kernel] = fingerprint_a
-        sessions[kernel] = (session_a, result_a)
-    for kernel in kernels[1:]:
+        fingerprints[variant] = fingerprint_a
+        sessions[variant] = (session_a, result_a)
+    baseline = variants[0]
+    for variant in variants[1:]:
         problems.extend(_diff_fingerprints(
-            f"{system.name}: {kernels[0]} vs {kernel} kernel divergence",
-            fingerprints[kernels[0]], fingerprints[kernel],
+            f"{system.name}: {label(baseline)} vs {label(variant)} divergence",
+            fingerprints[baseline], fingerprints[variant],
         ))
 
-    session, result = sessions[kernels[0]]
+    session, result = sessions[baseline]
     problems.extend(
         f"{system.name}: {problem}"
         for problem in check_functional_outcome(session, result,

@@ -82,11 +82,15 @@ class ConformanceReport:
 def run_conformance(kernel_tier=FULL_KERNEL_TIER,
                     cosim_models=FULL_COSIM_MODELS,
                     cosyn_models=FULL_COSYN_MODELS,
-                    seed_base=0, progress=None):
+                    seed_base=0, progress=None, fsm_mode=None):
     """Run a full conformance sweep; returns a :class:`ConformanceReport`.
 
     *seed_base* shifts every generated seed, so nightly runs can explore
     fresh scenarios while `make conformance` stays reproducible by default.
+    *fsm_mode* selects the FSM execution tier of the cosim oracle
+    (``compiled``, ``interpreted``, ``differential`` to cross-check both
+    tiers against each other, or ``None`` for the project default — see
+    :func:`repro.testkit.oracles.check_cosim_conformance`).
     """
     report = ConformanceReport()
 
@@ -103,7 +107,7 @@ def run_conformance(kernel_tier=FULL_KERNEL_TIER,
                  f"{'ok' if not problems else 'DIVERGED'}")
     for offset in range(cosim_models):
         system = generate_system(seed_base + offset)
-        problems = check_cosim_conformance(system)
+        problems = check_cosim_conformance(system, fsm_mode=fsm_mode)
         report.record(problems)
         note(f"[cosim ] {system.name} ({system.summary}): "
              f"{'ok' if not problems else 'FAILED'}")
@@ -116,7 +120,7 @@ def run_conformance(kernel_tier=FULL_KERNEL_TIER,
     return report
 
 
-def replay(name):
+def replay(name, fsm_mode=None):
     """Re-run one scenario from its printed name; returns problem strings.
 
     Accepts ``kernel-<size>-<seed>`` (differential kernel check) and
@@ -127,7 +131,8 @@ def replay(name):
         return check_kernel_scenario(KernelScenario(int(parts[2]), size=parts[1]))
     if parts[0] == "system" and len(parts) == 2:
         system = generate_system(int(parts[1]))
-        return check_cosim_conformance(system) + check_cosyn_conformance(system)
+        return (check_cosim_conformance(system, fsm_mode=fsm_mode)
+                + check_cosyn_conformance(system))
     raise ValueError(
         f"unrecognised scenario name {name!r}; expected "
         "'kernel-<size>-<seed>' or 'system-<seed>'"

@@ -1,0 +1,139 @@
+"""Smoke tests of the cosim perf harness (``python -m benchmarks.perf.cosim``).
+
+Like ``test_perf_harness.py`` for the kernel suite: running the harness's
+small points inside the test suite keeps the benchmark code working as the
+backplane evolves, and the regression-gate logic (``--check``) is pinned on
+synthetic runs so it cannot silently go vacuous.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.perf.cosim import (  # noqa: E402  (path setup above)
+    ACCEPTANCE_POINT,
+    ACCEPTANCE_THRESHOLD,
+    SCHEMA,
+    check_against_baseline,
+    main,
+    time_cosim_point,
+)
+from benchmarks.perf.cosim_workloads import COSIM_WORKLOADS  # noqa: E402
+from benchmarks.perf.harness import update_bench_file  # noqa: E402
+
+TRANSITION_RATE, MIXED_SYSTEM = COSIM_WORKLOADS
+
+
+def test_quick_sizes_are_subset_of_full_sizes():
+    # The --check gate compares quick runs against recorded baselines, so
+    # every quick point must exist in the full sweep too.
+    for workload in COSIM_WORKLOADS:
+        assert set(workload.quick_sizes) <= set(workload.sizes)
+
+
+def test_transition_rate_point_counts_transitions():
+    point = time_cosim_point(TRANSITION_RATE, 2, "compiled", quick=True)
+    assert point["wall_s"] >= 0
+    assert point["fsm"]["steps"] > 0
+    # Transition-rate-bound by construction: every step fires.
+    assert point["fsm"]["transitions_fired"] == point["fsm"]["steps"]
+    assert point["fsm"]["compile_hits"] == point["fsm"]["steps"]
+    assert point["fsm"]["fallback"] == 0
+
+
+def test_interpreted_point_reports_fallback_steps():
+    point = time_cosim_point(MIXED_SYSTEM, 1, "interpreted", quick=True)
+    assert point["fsm"]["fallback"] == point["fsm"]["steps"] > 0
+    assert point["fsm"]["compile_hits"] == 0
+
+
+def test_repeats_validated():
+    with pytest.raises(ValueError, match="repeats"):
+        time_cosim_point(TRANSITION_RATE, 2, "compiled", repeats=0)
+
+
+def _synthetic_run(points):
+    return {"results": [
+        {"workload": workload, "n_processes": n, "wall_s": wall}
+        for workload, n, wall in points
+    ]}
+
+
+def test_update_bench_file_computes_cosim_acceptance(tmp_path):
+    path = tmp_path / "bench_cosim.json"
+    seed = _synthetic_run([(ACCEPTANCE_POINT[0], ACCEPTANCE_POINT[1], 6.0)])
+    current = _synthetic_run([(ACCEPTANCE_POINT[0], ACCEPTANCE_POINT[1], 1.0)])
+    update_bench_file(path, "seed", seed, schema=SCHEMA,
+                      point=ACCEPTANCE_POINT, threshold=ACCEPTANCE_THRESHOLD)
+    document = update_bench_file(path, "current", current, schema=SCHEMA,
+                                 point=ACCEPTANCE_POINT,
+                                 threshold=ACCEPTANCE_THRESHOLD)
+    assert json.loads(path.read_text())["schema"] == SCHEMA
+    acceptance = document["acceptance"]
+    assert acceptance["point"] == {"workload": ACCEPTANCE_POINT[0],
+                                   "n_processes": ACCEPTANCE_POINT[1]}
+    assert acceptance["speedup"] == 6.0
+    assert acceptance["pass"] is True
+
+
+def test_check_against_baseline_flags_regressions():
+    baseline = _synthetic_run([("transition_rate", 2, 0.10),
+                               ("mixed_system", 1, 0.20)])
+    ok_run = _synthetic_run([("transition_rate", 2, 0.15),
+                             ("mixed_system", 1, 0.25)])
+    bad_run = _synthetic_run([("transition_rate", 2, 0.25),
+                              ("mixed_system", 1, 0.25)])
+    ok, _ = check_against_baseline(baseline, ok_run, max_slowdown=2.0)
+    assert ok
+    ok, lines = check_against_baseline(baseline, bad_run, max_slowdown=2.0)
+    assert not ok
+    assert any("REGRESSED" in line for line in lines)
+
+
+def test_check_against_baseline_rejects_vacuous_comparison():
+    baseline = _synthetic_run([("transition_rate", 64, 1.0)])
+    run = _synthetic_run([("transition_rate", 2, 0.1)])
+    ok, lines = check_against_baseline(baseline, run)
+    assert not ok
+    assert any("no shared points" in line for line in lines)
+
+
+def test_check_cli_requires_recorded_baseline(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert main(["--check", "--output", str(missing)]) == 1
+    update_bench_file(tmp_path / "bench.json", "current", _synthetic_run([]),
+                      schema=SCHEMA, point=ACCEPTANCE_POINT,
+                      threshold=ACCEPTANCE_THRESHOLD)
+    assert main(["--check", "--output", str(tmp_path / "bench.json")]) == 1
+    err = capsys.readouterr().err
+    assert "quick-baseline" in err
+
+
+def test_check_cli_rejects_baseline_from_wrong_tier(tmp_path, capsys):
+    # A baseline recorded on the interpreted tier must not silently gate a
+    # compiled-tier run (it would be trivially green).
+    baseline = dict(_synthetic_run([("transition_rate", 2, 0.5)]),
+                    fsm_mode="interpreted", quick=True)
+    path = tmp_path / "bench.json"
+    update_bench_file(path, "quick-baseline", baseline, schema=SCHEMA,
+                      point=ACCEPTANCE_POINT, threshold=ACCEPTANCE_THRESHOLD)
+    assert main(["--check", "--output", str(path)]) == 1
+    assert "re-record the baseline" in capsys.readouterr().err
+
+
+def test_check_cli_rejects_full_tier_baseline(tmp_path, capsys):
+    # A full-tier baseline does ~10x the quick tier's work per point, which
+    # would make every wall-clock ratio trivially green.
+    baseline = dict(_synthetic_run([("transition_rate", 2, 0.5)]),
+                    fsm_mode="compiled", quick=False)
+    path = tmp_path / "bench.json"
+    update_bench_file(path, "quick-baseline", baseline, schema=SCHEMA,
+                      point=ACCEPTANCE_POINT, threshold=ACCEPTANCE_THRESHOLD)
+    assert main(["--check", "--output", str(path)]) == 1
+    assert "--quick" in capsys.readouterr().err

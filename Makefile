@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-kernel bench-quick bench-seed bench-cosim bench-cosim-seed bench-cosim-quick bench-cosim-check conformance conformance-quick dse dse-quick sweep sweep-quick quickstart
+.PHONY: test bench bench-kernel bench-quick bench-seed bench-cosim bench-cosim-seed bench-cosim-quick bench-cosim-check conformance conformance-quick conformance-coverage dse dse-quick sweep sweep-quick quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -50,6 +50,12 @@ conformance:
 # < 30 s smoke tier of the same kit (also exercised by the test suite).
 conformance-quick:
 	$(PYTHON) -m repro.testkit --quick
+
+# Coverage-directed campaign: 24 novelty-weighted scenarios (plain, fault
+# injection, platform-timed real-time) sharing one coverage map; fails
+# below the recorded state-visit coverage floor.
+conformance-coverage:
+	$(PYTHON) -m repro.testkit --coverage --budget 24 --coverage-floor 0.9
 
 # Partition-explorer sweep: heuristic search over a 20+-module testkit
 # workload on 4 workers, cosim-validated front, full JSON report.

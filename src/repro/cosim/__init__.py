@@ -23,6 +23,14 @@ from repro.cosim.sync import ActivationPolicy, OneTransitionPerActivation, RunTo
 from repro.cosim.sw_executor import SoftwareExecutor
 from repro.cosim.hw_adapter import HardwareAdapter
 from repro.cosim.session import CosimSession, CosimResult
+from repro.cosim.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    classify_unit,
+    plan_for_unit,
+)
 
 __all__ = [
     "CliPortAccessor",
@@ -36,4 +44,10 @@ __all__ = [
     "HardwareAdapter",
     "CosimSession",
     "CosimResult",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "classify_unit",
+    "plan_for_unit",
 ]

@@ -113,6 +113,7 @@ class CosimSession:
         self.sw_executors = {}
         self.hw_adapters = {}
         self.monitors = []
+        self.fault_injectors = {}
         self._environment_hooks = []
         self._built = False
 
@@ -135,6 +136,26 @@ class CosimSession:
             self.simulator.add_monitor(monitor)
         return monitor
 
+    def add_fault_plan(self, plan):
+        """Install a :class:`repro.cosim.faults.FaultPlan`; returns its injector.
+
+        Must be called before the session is built; the injector process is
+        registered during :meth:`build` and its cursor travels in
+        :meth:`save` checkpoints, so faulted runs snapshot/restore like any
+        other.
+        """
+        from repro.cosim.faults import FaultInjector
+
+        if self._built:
+            raise SimulationError(
+                "add_fault_plan() must be called before the session is built"
+            )
+        if plan.name in self.fault_injectors:
+            raise SimulationError(f"duplicate fault plan {plan.name!r}")
+        injector = FaultInjector(self, plan)
+        self.fault_injectors[plan.name] = injector
+        return injector
+
     def build(self):
         """Construct signals, processes and executors.  Idempotent."""
         if self._built:
@@ -144,6 +165,8 @@ class CosimSession:
         self._build_controllers()
         self._build_hardware()
         self._build_software()
+        for injector in self.fault_injectors.values():
+            injector.install()
         if self.trace_signals:
             self.waveform = self.simulator.add_recorder(WaveformRecorder())
         else:
@@ -318,6 +341,8 @@ class CosimSession:
             "waveform": self.waveform.capture_state(),
             "monitors": {monitor.name: monitor.capture_state()
                          for monitor in self.monitors},
+            "faults": {name: injector.capture_state()
+                       for name, injector in self.fault_injectors.items()},
         }
 
     def restore(self, checkpoint):
@@ -365,6 +390,8 @@ class CosimSession:
             ("hardware adapters", checkpoint["hw_adapters"],
              self.hw_adapters),
             ("monitors", checkpoint["monitors"], monitors),
+            ("fault plans", checkpoint.get("faults", {}),
+             self.fault_injectors),
         ):
             if set(theirs) != set(ours):
                 raise SimulationError(
@@ -384,6 +411,8 @@ class CosimSession:
         self.waveform.restore_state(checkpoint["waveform"])
         for name, state in checkpoint["monitors"].items():
             monitors[name].restore_state(state)
+        for name, state in checkpoint.get("faults", {}).items():
+            self.fault_injectors[name].restore_state(state)
         return self
 
     # ------------------------------------------------------------------ query

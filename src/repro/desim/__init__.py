@@ -22,7 +22,7 @@ used by the paper.  It provides:
 
 from repro.desim.simtime import NS, US, MS, SEC, format_time
 from repro.desim.events import Timeout, SignalChange, Delta, WaitCondition
-from repro.desim.signal import Signal
+from repro.desim.signal import ForceValue, ReleaseValue, Signal
 from repro.desim.process import Process
 from repro.desim.kernel import Simulator
 from repro.desim.reference import ReferenceSimulator
@@ -67,6 +67,8 @@ __all__ = [
     "Delta",
     "WaitCondition",
     "Signal",
+    "ForceValue",
+    "ReleaseValue",
     "Process",
     "Simulator",
     "ReferenceSimulator",

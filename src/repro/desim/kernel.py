@@ -44,7 +44,7 @@ import itertools
 
 from repro.desim.events import Delta, SignalChange, Timeout
 from repro.desim.process import Process
-from repro.desim.signal import Signal
+from repro.desim.signal import ForceValue, ReleaseValue, Signal
 from repro.desim.simtime import check_delay, format_time
 from repro.utils.errors import SimulationError
 
@@ -748,6 +748,25 @@ class Simulator:
     def poke(self, name, value, delay=0):
         """Schedule *value* on the signal called *name* (testbench helper)."""
         self.schedule(self.signal(name), value, delay)
+
+    def force(self, name, value, delay=0):
+        """Pin the signal called *name* to *value* (HDL ``force``).
+
+        The force engages at the update phase *delay* ns from now and
+        holds until :meth:`release`; driver writes in between are
+        suppressed (the last one is remembered).  Used by fault injection
+        to model stuck wires without touching the drivers.
+        """
+        self.schedule(self.signal(name), ForceValue(value), delay)
+
+    def release(self, name, delay=0):
+        """Release a forced signal (HDL ``release``).
+
+        The signal resumes the most recent value its drivers attempted
+        during the force window (the pre-force value when none did).
+        Releasing an unforced signal is a no-op.
+        """
+        self.schedule(self.signal(name), ReleaseValue(), delay)
 
     def __repr__(self):
         return (

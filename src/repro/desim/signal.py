@@ -17,6 +17,46 @@ from repro.utils.errors import SimulationError
 from repro.utils.ids import check_identifier
 
 
+class ForceValue:
+    """Transaction payload that *forces* a signal (HDL ``force``).
+
+    Scheduling ``ForceValue(v)`` on a signal pins its visible value to
+    ``v`` at the next update phase.  While forced, ordinary transactions
+    do not change the visible value; the most recent suppressed write is
+    remembered and re-applied by :class:`ReleaseValue`.  Fault injection
+    (:mod:`repro.cosim.faults`) uses force/release to model stuck wires
+    and bus contention without touching the drivers.
+
+    Force and release travel through the normal transaction queue, so the
+    "last write in a delta wins" rule applies to them like any other
+    transaction — both kernels reduce a delta's queue to one value per
+    signal before applying, which keeps fault runs differentially
+    comparable.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return f"ForceValue({self.value!r})"
+
+
+class ReleaseValue:
+    """Transaction payload that releases a forced signal (HDL ``release``).
+
+    The signal resumes the most recent value its drivers tried to write
+    during the force window (or the pre-force value when none did).
+    Releasing an unforced signal is a no-op.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "ReleaseValue()"
+
+
 class Signal:
     """A named simulation signal.
 
@@ -45,6 +85,11 @@ class Signal:
         # Kernel-owned dedup mark: True while this signal sits in the update
         # phase's staged list for the current delta (cleared when applied).
         self._staged = False
+        # Force state: (value,) while forced, else None; _shadow remembers
+        # the latest write suppressed during the force window (starts as the
+        # pre-force value) so release restores last-write-wins semantics.
+        self._forced = None
+        self._shadow = None
         # Future transactions are kept by the kernel, not the signal.
 
     @property
@@ -65,12 +110,33 @@ class Signal:
         """
         self._pending = (value,)
 
+    @property
+    def forced(self):
+        """True while the signal is pinned by a :class:`ForceValue`."""
+        return self._forced is not None
+
     def apply_pending(self, now):
         """Apply a staged transaction.  Returns ``True`` when an event occurs."""
         if self._pending is None:
             return False
         (new_value,) = self._pending
         self._pending = None
+        if type(new_value) is ForceValue:
+            if self._forced is None:
+                self._shadow = (self._value,)
+            self._forced = (new_value.value,)
+            new_value = new_value.value
+        elif type(new_value) is ReleaseValue:
+            if self._forced is None:
+                return False
+            self._forced = None
+            shadow, self._shadow = self._shadow, None
+            (new_value,) = shadow
+        elif self._forced is not None:
+            # Drivers keep driving a forced signal; the visible value does
+            # not move, but the last attempt is remembered for release.
+            self._shadow = (new_value,)
+            return False
         if new_value == self._value:
             return False
         self._value = new_value
@@ -87,6 +153,8 @@ class Signal:
         self._value = self._init
         self._pending = None
         self._staged = False
+        self._forced = None
+        self._shadow = None
         self.last_changed = 0
         self.event = False
         self.change_count = 0
@@ -104,6 +172,8 @@ class Signal:
             "value": self._value,
             "last_changed": self.last_changed,
             "change_count": self.change_count,
+            "forced": self._forced,
+            "shadow": self._shadow,
         }
 
     def restore_state(self, state):
@@ -111,6 +181,8 @@ class Signal:
         self._value = state["value"]
         self.last_changed = state["last_changed"]
         self.change_count = state["change_count"]
+        self._forced = state.get("forced")
+        self._shadow = state.get("shadow")
         self._pending = None
         self._staged = False
         self.event = False

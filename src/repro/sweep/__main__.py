@@ -9,6 +9,13 @@ Usage::
     python -m repro.sweep --from-dse dse_report.json --seed 0 --networks 9
     python -m repro.sweep --cache-dir .sweep-cache --cosyn 12
     python -m repro.sweep --selfcheck --quick    # parity + warm-cache check
+    python -m repro.sweep --cosim 6 --coverage --fault-kinds stuck_handshake
+
+``--coverage`` attaches a :class:`~repro.testkit.coverage.CoverageMap` to
+every co-simulation job and records the per-job scoreboard (state/edge
+coverage, fault survival) into the report; coverage jobs are cacheable,
+so a ``--cache-dir`` sweep replays them from the artefact cache.
+``--fault-kinds`` adds one faulted variant of every cosim seed per kind.
 
 ``--selfcheck`` runs the batch serially and on the pool, asserts the two
 reports are byte-identical, then re-runs the cacheable jobs against the
@@ -23,6 +30,7 @@ import sys
 import tempfile
 import time
 
+from repro.cosim.faults import FAULT_KINDS
 from repro.sweep.cache import ArtifactCache
 from repro.sweep.jobs import (
     CosimJob,
@@ -96,7 +104,14 @@ def build_jobs(args, parser):
     for offset in range(cosim_jobs):
         jobs.append(CosimJob(args.seed_base + offset, networks=args.networks,
                              kernel=args.sim_kernel, until=args.until,
-                             checkpoint_at=args.checkpoint_at))
+                             checkpoint_at=args.checkpoint_at,
+                             coverage=args.coverage))
+        for kind in args.fault_kinds or ():
+            jobs.append(CosimJob(args.seed_base + offset,
+                                 networks=args.networks,
+                                 kernel=args.sim_kernel,
+                                 coverage=args.coverage,
+                                 fault_kind=kind))
     for offset in range(cosyn_jobs):
         for platform in args.platforms:
             jobs.append(CosynJob(args.seed_base + offset,
@@ -136,7 +151,7 @@ def run_selfcheck(jobs, args):
                 )
             else:
                 print(f"warm cache: {warm.cosyn_cached()}/{len(cacheable)} "
-                      "cosyn jobs served from cache, zero re-synthesis")
+                      "cacheable jobs served from cache, zero re-synthesis")
         if not serial.ok:
             failures.append("batch reported errors/functional problems "
                             "(see report)")
@@ -182,6 +197,13 @@ def main(argv=None):
     shape.add_argument("--checkpoint-at", type=int, default=None,
                        help="run cosim jobs through a save/restore "
                             "checkpoint at this time")
+    shape.add_argument("--coverage", action="store_true",
+                       help="collect FSM coverage on cosim jobs and record "
+                            "the per-job scoreboard (makes them cacheable)")
+    shape.add_argument("--fault-kinds", nargs="+", metavar="KIND",
+                       choices=FAULT_KINDS, default=None,
+                       help="additionally run each cosim seed under these "
+                            f"fault kinds (choices: {', '.join(FAULT_KINDS)})")
     parser.add_argument("--workers", type=int, default=4,
                         help="worker processes (default 4; 1 = serial)")
     parser.add_argument("--cache-dir", metavar="DIR",

@@ -119,7 +119,8 @@ class CosimJob(SweepJob):
     kind = "cosim"
 
     def __init__(self, seed, networks=None, kernel="production", until=None,
-                 checkpoint_at=None, fsm_mode=None):
+                 checkpoint_at=None, fsm_mode=None, coverage=False,
+                 fault_kind=None, fault_unit_index=0):
         self.seed = int(seed)
         self.networks = None if networks is None else int(networks)
         self.kernel = kernel
@@ -137,6 +138,19 @@ class CosimJob(SweepJob):
         if (self.checkpoint_at is not None and self.until is not None
                 and self.checkpoint_at >= self.until):
             raise ValueError("checkpoint_at must lie before until")
+        self.coverage = bool(coverage)
+        if fault_kind is not None:
+            from repro.cosim.faults import FAULT_KINDS
+
+            if fault_kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {fault_kind!r}; "
+                                 f"available: {FAULT_KINDS}")
+        self.fault_kind = fault_kind
+        self.fault_unit_index = int(fault_unit_index)
+        # Coverage maps are deterministic and reasonably sized, so a
+        # coverage-collecting run is worth caching: the record plus the
+        # serialized map become the payload.
+        self.cacheable = self.coverage
 
     def spec(self):
         return {
@@ -147,37 +161,69 @@ class CosimJob(SweepJob):
             "fsm_mode": self.fsm_mode,
             "until": self.until,
             "checkpoint_at": self.checkpoint_at,
+            "coverage": self.coverage,
+            "fault_kind": self.fault_kind,
+            "fault_unit_index": self.fault_unit_index,
         }
 
     @property
     def name(self):
         suffix = f"x{self.networks}" if self.networks is not None else ""
-        return f"cosim-{self.seed}{suffix}@{self.kernel}"
+        fault = f"+{self.fault_kind}" if self.fault_kind is not None else ""
+        return f"cosim-{self.seed}{suffix}{fault}@{self.kernel}"
 
     def _session(self, system):
         from repro.cosim import CosimSession
+        from repro.cosim.faults import default_fault_window, plan_for_unit
 
-        return CosimSession(system.build_model(), kernel=self.kernel,
-                            fsm_mode=self.fsm_mode, **system.cosim_params)
+        session = CosimSession(system.build_model(), kernel=self.kernel,
+                               fsm_mode=self.fsm_mode, **system.cosim_params)
+        if self.fault_kind is not None:
+            units = list(session.model.comm_units.values())
+            unit = units[self.fault_unit_index % len(units)]
+            at, duration = default_fault_window(
+                system.cosim_params["clock_period"])
+            session.add_fault_plan(plan_for_unit(self.fault_kind, unit,
+                                                 at=at, duration=duration))
+        return session
 
     def execute(self):
+        from repro.testkit.coverage import (
+            CoverageMap,
+            attach_session,
+            coverage_universe,
+            scoreboard,
+        )
         from repro.testkit.models import generate_system
         from repro.testkit.oracles import (
+            COSIM_MAX_TIME,
             check_functional_outcome,
             cosim_fingerprint,
             run_session_to_completion,
         )
+        from repro.testkit.scenarios import FAULT_MAX_TIME
 
         system = generate_system(self.seed, networks=self.networks)
+        coverage = CoverageMap() if self.coverage else None
         session = self._session(system)
+        if coverage is not None:
+            attach_session(session, coverage)
         if self.checkpoint_at is not None:
             session.run(until=self.checkpoint_at)
             checkpoint = session.save()
             session = self._session(system).restore(checkpoint)
+            if coverage is not None:
+                # Rewire the observers onto the restored instances; the
+                # map keeps accumulating across the checkpoint boundary.
+                attach_session(session, coverage, seed_states=False)
+        max_time = (FAULT_MAX_TIME if self.fault_kind is not None
+                    else COSIM_MAX_TIME)
         if self.until is None:
-            result = run_session_to_completion(session, system.expectations)
+            result = run_session_to_completion(session, system.expectations,
+                                               max_time=max_time)
             problems = check_functional_outcome(session, result,
-                                                system.expectations)
+                                                system.expectations,
+                                                max_time=max_time)
         else:
             result = session.run(until=self.until)
             problems = None
@@ -186,15 +232,43 @@ class CosimJob(SweepJob):
             "end_time": result.end_time,
             "service_calls": len(result.trace),
             "sw_finished_all": all(result.sw_finished.values()),
-            "functional_problems": problems,
+            # A faulted run may legitimately miss its expectations; that is
+            # the fault-survival signal, not an error.
+            "functional_problems": (None if self.fault_kind is not None
+                                    else problems),
             # Execution-tier counters: a sweep silently losing the compiled
             # fast path shows up here as fallback > 0 / compile_hits == 0.
             "fsm": dict(result.fsm_counters),
             "fingerprint_digest": content_digest(
                 cosim_fingerprint(session, result)
             ),
+            "fault_survival": (not problems if self.fault_kind is not None
+                               and self.until is None else None),
         })
-        return record, None
+        payload = None
+        if coverage is not None:
+            coverage.record_trace(result.trace)
+            universe = coverage_universe(session.model)
+            record["scoreboard"] = scoreboard(
+                coverage, universe,
+                fault_survival=record["fault_survival"],
+            )
+            record["coverage_digest"] = coverage.digest()
+            record["cached"] = False
+            identity = set(self.spec()) | {"name", "error"}
+            payload = {
+                "record": {key: value for key, value in record.items()
+                           if key not in identity and key != "cached"},
+                "coverage": coverage.as_dict(),
+            }
+        return record, payload
+
+    def record_from_payload(self, payload, cached):
+        """Report entry for a cache-served coverage run."""
+        record = self._base_record()
+        record.update(payload["record"])
+        record["cached"] = cached
+        return record
 
 
 class CosynJob(SweepJob):

@@ -27,7 +27,21 @@ batch tiers, ``tests/test_testkit_conformance.py`` for the pytest-wired
 alone — see ``docs/testing.md``.
 """
 
-from repro.testkit.generator import KernelScenario, SIZES
+from repro.testkit.coverage import (
+    CoverageMap,
+    attach_session,
+    coverage_universe,
+    merge_universes,
+    scoreboard,
+)
+from repro.testkit.generator import (
+    KernelScenario,
+    SIZES,
+    campaign_universe,
+    dedupe_scenarios,
+    run_directed,
+    run_uniform,
+)
 from repro.testkit.models import GeneratedSystem, generate_models, generate_system
 from repro.testkit.oracles import (
     check_cosim_conformance,
@@ -37,6 +51,12 @@ from repro.testkit.runner import (
     ConformanceReport,
     check_kernel_scenario,
     run_conformance,
+)
+from repro.testkit.scenarios import (
+    FaultScenario,
+    RealtimeScenario,
+    check_fault_scenario,
+    check_realtime_scenario,
 )
 
 __all__ = [
@@ -50,4 +70,17 @@ __all__ = [
     "check_kernel_scenario",
     "ConformanceReport",
     "run_conformance",
+    "CoverageMap",
+    "attach_session",
+    "coverage_universe",
+    "merge_universes",
+    "scoreboard",
+    "campaign_universe",
+    "dedupe_scenarios",
+    "run_directed",
+    "run_uniform",
+    "FaultScenario",
+    "RealtimeScenario",
+    "check_fault_scenario",
+    "check_realtime_scenario",
 ]

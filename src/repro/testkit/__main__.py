@@ -9,6 +9,15 @@ Usage::
     python -m repro.testkit --fsm-mode interpreted   # or: differential
     python -m repro.testkit --kernel-scenarios tiny=5 small=2 --cosim 3 --cosyn 1
     python -m repro.testkit --emit-models 5 --networks 4   # generator only
+    python -m repro.testkit --coverage --budget 24 --coverage-floor 0.9
+
+``--coverage`` runs a coverage-directed co-simulation campaign instead of
+the differential tiers: scenario configurations (plain system, fault
+injection, platform-timed real-time) are drawn by novelty-weighted
+mutation, deduplicated and executed against one shared
+:class:`~repro.testkit.coverage.CoverageMap`, and the final scoreboard is
+printed.  ``--coverage-floor`` turns the state-visit coverage into a gate
+(exit 1 below the floor) for CI.
 
 Exit status is non-zero when any scenario diverges or violates an oracle.
 """
@@ -22,10 +31,14 @@ from repro.testkit.models import generate_models
 from repro.testkit.runner import (
     FULL_COSIM_MODELS,
     FULL_COSYN_MODELS,
+    FULL_FAULT_SEEDS,
     FULL_KERNEL_TIER,
+    FULL_REALTIME_MODELS,
     QUICK_COSIM_MODELS,
     QUICK_COSYN_MODELS,
+    QUICK_FAULT_SEEDS,
     QUICK_KERNEL_TIER,
+    QUICK_REALTIME_MODELS,
     replay,
     run_conformance,
 )
@@ -56,6 +69,26 @@ def main(argv=None):
                         help="number of generated systems for the cosim oracle")
     parser.add_argument("--cosyn", type=int, default=None,
                         help="number of generated systems for the cosyn oracle")
+    parser.add_argument("--fault-seeds", type=int, default=None,
+                        help="seeds per fault kind for the fault-injection "
+                             "tier")
+    parser.add_argument("--realtime", type=int, default=None,
+                        help="number of back-annotated real-time scenarios")
+    parser.add_argument("--coverage", action="store_true",
+                        help="run a coverage-directed campaign and print the "
+                             "scoreboard instead of the conformance tiers")
+    parser.add_argument("--budget", type=int, default=24,
+                        help="scenario budget of the --coverage campaign "
+                             "(default 24)")
+    parser.add_argument("--campaign-seed", type=int, default=0,
+                        help="RNG seed of the --coverage campaign (default 0)")
+    parser.add_argument("--coverage-floor", type=float, default=None,
+                        metavar="FRACTION",
+                        help="with --coverage: exit 1 when state-visit "
+                             "coverage lands below this fraction")
+    parser.add_argument("--uniform", action="store_true",
+                        help="with --coverage: draw scenarios uniformly "
+                             "instead of coverage-directed (baseline)")
     parser.add_argument("--fsm-mode", default=None,
                         choices=("compiled", "interpreted", "differential"),
                         help="FSM execution tier for the cosim oracle: the "
@@ -109,26 +142,39 @@ def main(argv=None):
         print(f"{args.replay}: ok")
         return 0
 
+    if args.coverage:
+        return run_coverage_campaign(args)
+
     if args.quick:
         kernel_tier = QUICK_KERNEL_TIER
         cosim_models = QUICK_COSIM_MODELS
         cosyn_models = QUICK_COSYN_MODELS
+        fault_seeds = QUICK_FAULT_SEEDS
+        realtime_models = QUICK_REALTIME_MODELS
     else:
         kernel_tier = FULL_KERNEL_TIER
         cosim_models = FULL_COSIM_MODELS
         cosyn_models = FULL_COSYN_MODELS
+        fault_seeds = FULL_FAULT_SEEDS
+        realtime_models = FULL_REALTIME_MODELS
     if args.kernel_scenarios is not None:
         kernel_tier = _parse_kernel_tier(args.kernel_scenarios)
     if args.cosim is not None:
         cosim_models = args.cosim
     if args.cosyn is not None:
         cosyn_models = args.cosyn
+    if args.fault_seeds is not None:
+        fault_seeds = args.fault_seeds
+    if args.realtime is not None:
+        realtime_models = args.realtime
 
     progress = print if args.verbose else None
     started = time.perf_counter()
     report = run_conformance(kernel_tier=kernel_tier,
                              cosim_models=cosim_models,
                              cosyn_models=cosyn_models,
+                             fault_seeds=fault_seeds,
+                             realtime_models=realtime_models,
                              seed_base=args.seed_base,
                              progress=progress,
                              fsm_mode=args.fsm_mode)
@@ -136,6 +182,46 @@ def main(argv=None):
     print(report.summary())
     print(f"({elapsed:.1f} s wall clock)")
     return 0 if report.ok else 1
+
+
+def run_coverage_campaign(args):
+    """Execute the ``--coverage`` mode; returns the process exit status."""
+    from repro.testkit.coverage import scoreboard
+    from repro.testkit.generator import (
+        campaign_universe,
+        run_directed,
+        run_uniform,
+    )
+
+    runner = run_uniform if args.uniform else run_directed
+    started = time.perf_counter()
+    campaign = runner(args.budget, rng_seed=args.campaign_seed,
+                      fsm_mode=args.fsm_mode)
+    elapsed = time.perf_counter() - started
+    universe = campaign_universe()
+    survivals = [report["survival"] for report in campaign["reports"]
+                 if report.get("survival") is not None]
+    misses = sum(report.get("deadline_misses") or 0
+                 for report in campaign["reports"])
+    board = scoreboard(
+        campaign["coverage"], universe,
+        fault_survival=(round(sum(survivals) / len(survivals), 4)
+                        if survivals else None),
+        deadline_misses=misses,
+    )
+    print(f"coverage campaign: {campaign['mode']}, "
+          f"budget {campaign['budget']}, {campaign['executed']} executed "
+          f"({elapsed:.1f} s wall clock)")
+    for field, value in board.items():
+        print(f"  {field}: {value}")
+    if args.coverage_floor is not None:
+        if board["state_coverage"] < args.coverage_floor:
+            print(f"FAIL: state coverage {board['state_coverage']} below "
+                  f"floor {args.coverage_floor}", file=sys.stderr)
+            return 1
+        print(f"state coverage {board['state_coverage']} >= "
+              f"floor {args.coverage_floor}")
+    return 0
 
 
 if __name__ == "__main__":

@@ -33,6 +33,12 @@ schedule them differently, which is exactly what the kit must detect.
 import random
 
 from repro.desim import Delta, SignalChange, Timeout, WaveformRecorder, create_simulator
+from repro.cosim import CosimSession
+from repro.cosim.faults import FAULT_KINDS
+from repro.testkit.coverage import CoverageMap, attach_session, coverage_universe, merge_universes
+from repro.testkit.models import generate_system
+from repro.testkit.oracles import run_session_to_completion
+from repro.utils.canonical import content_digest
 
 #: Size bands: (min processes, max processes, min horizon ns, max horizon ns).
 SIZES = {
@@ -395,3 +401,303 @@ class _BuildContext:
                 yield SignalChange(idle_signal, timeout=IDLE_TIMEOUT)
 
         self.sim.add_process(name, idle)
+
+
+# ---------------------------------------------------------------------------
+# Coverage-directed co-simulation campaigns
+# ---------------------------------------------------------------------------
+#
+# Above this line the generator produces *kernel*-level scenarios.  The
+# section below generates *system*-level scenario configs — plain dicts
+# naming a family (plain co-simulation, fault injection, back-annotated
+# real-time) plus its knobs — and runs them under the coverage
+# instrumentation of :mod:`repro.testkit.coverage`.  Two campaign drivers
+# share one budget accounting:
+#
+# * :func:`run_uniform` draws configs blindly (uniform family, uniform
+#   knobs, with replacement) and dispatches the deduplicated survivors;
+# * :func:`run_directed` spends the same budget one run at a time, mutating
+#   novelty-weighted parents — configs whose runs opened new coverage bins
+#   breed, barren ones die out.  No learning machinery: a plain feedback
+#   loop over the bin counters.
+#
+# Both dedupe through :func:`dedupe_scenarios` (identical ``(family,
+# knobs)`` configs would otherwise inflate the run counts that the sweep
+# scoreboard reports).  All draws come from ``random.Random(<string>)`` so
+# a campaign is reproducible from ``(budget, rng_seed)`` alone.
+
+#: Families understood by :func:`run_scenario_config`.
+SCENARIO_FAMILIES = ("system", "fault", "realtime")
+
+#: Default number of generated-system seeds a campaign draws from.
+SCENARIO_SEED_SPAN = 10
+
+#: Fault-target choices: index into the system's communication units.
+FAULT_UNIT_CHOICES = (0, 1, 2)
+
+#: Load multipliers of the real-time family.
+REALTIME_LOADS = (1, 2, 4)
+
+#: Deadline factors of the real-time family (2 is tight enough to miss).
+REALTIME_DEADLINE_FACTORS = (2, 40)
+
+
+def random_scenario_config(rng, seed_span=SCENARIO_SEED_SPAN):
+    """Draw one scenario config blindly: uniform family, uniform knobs."""
+    family = rng.choice(SCENARIO_FAMILIES)
+    config = {"family": family, "seed": rng.randrange(seed_span)}
+    if family == "fault":
+        config["kind"] = rng.choice(FAULT_KINDS)
+        config["unit_index"] = rng.choice(FAULT_UNIT_CHOICES)
+    elif family == "realtime":
+        config["load"] = rng.choice(REALTIME_LOADS)
+        config["deadline_factor"] = rng.choice(REALTIME_DEADLINE_FACTORS)
+    return config
+
+
+def mutate_scenario_config(rng, config, seed_span=SCENARIO_SEED_SPAN):
+    """One deterministic mutation of *config*: reseed, re-knob, or refamily.
+
+    Mutations preserve the family two thirds of the time (exploit: same
+    behaviour class, new angle) and otherwise redraw the family blindly
+    (explore: escape a saturated family).
+    """
+    if rng.random() < 1 / 3:
+        return random_scenario_config(rng, seed_span)
+    config = dict(config)
+    family = config["family"]
+    if family == "fault":
+        mutation = rng.randrange(3)
+        if mutation == 0:
+            config["seed"] = rng.randrange(seed_span)
+        elif mutation == 1:
+            config["kind"] = rng.choice(FAULT_KINDS)
+        else:
+            config["unit_index"] = rng.choice(FAULT_UNIT_CHOICES)
+    elif family == "realtime":
+        mutation = rng.randrange(3)
+        if mutation == 0:
+            config["seed"] = rng.randrange(seed_span)
+        elif mutation == 1:
+            config["load"] = rng.choice(REALTIME_LOADS)
+        else:
+            config["deadline_factor"] = rng.choice(REALTIME_DEADLINE_FACTORS)
+    else:
+        config["seed"] = rng.randrange(seed_span)
+    return config
+
+
+def scenario_config_digest(config):
+    """Canonical identity of a scenario config (dedup and cache key)."""
+    return content_digest(config)
+
+
+def dedupe_scenarios(configs):
+    """Drop configs identical to an earlier one, preserving order.
+
+    Identity is the canonical digest of the config dict, so key order and
+    dict identity do not matter.  Duplicate ``(seed, knobs)`` configs would
+    execute byte-identical runs and inflate every count the campaign
+    reports; they must never reach dispatch.
+    """
+    seen = set()
+    unique = []
+    for config in configs:
+        digest = scenario_config_digest(config)
+        if digest in seen:
+            continue
+        seen.add(digest)
+        unique.append(config)
+    return unique
+
+
+def run_scenario_config(config, coverage, kernel="production", fsm_mode=None):
+    """Execute one scenario config, folding its run into *coverage*.
+
+    Returns a small report dict: the config, its digest, and the
+    scoreboard-feeding observations of its family (fault survival,
+    deadline misses).
+    """
+    from repro.testkit.scenarios import FaultScenario, RealtimeScenario
+
+    family = config["family"]
+    report = {"config": dict(config),
+              "digest": scenario_config_digest(config)}
+    if family == "fault":
+        scenario = FaultScenario(config["seed"], kind=config["kind"],
+                                 unit_index=config["unit_index"])
+        session, result = scenario.run(kernel, fsm_mode=fsm_mode,
+                                       coverage=coverage)
+        report["survival"] = scenario.survival(session, result)
+        report["end_time"] = result.end_time
+    elif family == "realtime":
+        scenario = RealtimeScenario(config["seed"], load=config["load"],
+                                    deadline_factor=config["deadline_factor"])
+        _, result, timing = scenario.run(kernel, fsm_mode=fsm_mode,
+                                         coverage=coverage)
+        report["deadline_misses"] = timing["deadline_misses"]
+        report["end_time"] = result.end_time
+    elif family == "system":
+        system = generate_system(config["seed"])
+        session = CosimSession(system.build_model(), kernel=kernel,
+                               fsm_mode=fsm_mode, **system.cosim_params)
+        attach_session(session, coverage)
+        result = run_session_to_completion(session, system.expectations)
+        coverage.record_trace(result.trace)
+        report["end_time"] = result.end_time
+    else:
+        raise ValueError(f"unknown scenario family {config['family']!r}; "
+                         f"available: {SCENARIO_FAMILIES}")
+    return report
+
+
+def campaign_universe(seed_span=SCENARIO_SEED_SPAN):
+    """The static state/edge universe of every system a campaign can touch."""
+    return merge_universes(
+        coverage_universe(generate_system(seed).build_model())
+        for seed in range(seed_span)
+    )
+
+
+def run_uniform(budget, rng_seed=0, seed_span=SCENARIO_SEED_SPAN,
+                kernel="production", fsm_mode=None):
+    """Blind baseline: *budget* uniform draws, deduplicated, dispatched.
+
+    Duplicate draws are discarded (never dispatched) but still consume
+    budget — blindness pays for its collisions.  Returns the same campaign
+    dict as :func:`run_directed`.
+    """
+    rng = random.Random(f"uniform:{rng_seed}")
+    drawn = [random_scenario_config(rng, seed_span) for _ in range(budget)]
+    unique = dedupe_scenarios(drawn)
+    coverage = CoverageMap()
+    reports = [run_scenario_config(config, coverage, kernel, fsm_mode)
+               for config in unique]
+    return {"mode": "uniform", "budget": budget, "executed": len(reports),
+            "coverage": coverage, "reports": reports}
+
+
+def _covered_bins(coverage, universe):
+    """The universe state/edge bins *coverage* has reached, as a tag set."""
+    return ({f"S:{key}" for key in universe["states"]
+             if key in coverage.state_visits}
+            | {f"E:{key}" for key in universe["edges"]
+               if key in coverage.edges})
+
+
+def _seed_bins(seed, cache):
+    """Tag set of the state/edge bins *seed*'s own model declares."""
+    if seed not in cache:
+        universe = coverage_universe(generate_system(seed).build_model())
+        cache[seed] = ({f"S:{key}" for key in universe["states"]}
+                       | {f"E:{key}" for key in universe["edges"]})
+    return cache[seed]
+
+
+def _is_stall_bin(tag):
+    """True for bins only backpressure reaches: WAIT states, self-loop edges.
+
+    Tags are ``S:<fsm>/<state>`` or ``E:<fsm>/<from>><to>``; a stall bin
+    is a WAIT-named state/edge or an edge that loops on its own state —
+    exactly the shapes a fault plan (stuck strobe, forced-full buffer)
+    exists to provoke.
+    """
+    if "WAIT" in tag:
+        return True
+    if tag.startswith("E:"):
+        _, _, edge = tag.partition("/")
+        source, _, target = edge.partition(">")
+        return source == target
+    return False
+
+
+def run_directed(budget, rng_seed=0, seed_span=SCENARIO_SEED_SPAN,
+                 kernel="production", fsm_mode=None, greed=0.75,
+                 universe=None, candidates=12):
+    """Coverage-directed campaign: one run at a time, feedback-driven.
+
+    Novelty is measured against the campaign's static state/edge
+    *universe* — the metric the scoreboard reports — not against the raw
+    bin count, where the unbounded phase/ordering bins would drown the
+    signal (every run opens a few interleaving n-grams; only interesting
+    runs open unexercised FSM edges).  Each step drafts a pool of fresh
+    candidates — mutations of parents weighted by ``1 + 4 × new universe
+    bins their run opened`` (*greed* of the time) or blind draws — and
+    dispatches the candidate with the highest *potential*: the sum, over
+    the uncovered bins its own model declares, of a promise weight that
+    halves every time a run declaring the bin fails to cover it (so
+    statically-declared-but-unreachable bins stop attracting budget), with
+    fault-family candidates scoring uncovered stall bins triple (stuck
+    strobes and forced-full buffers are the designated tool for WAIT
+    states and blocked self-loops).  The dynamic parent weighting is what
+    keeps the loop mutating configs that actually deliver — e.g. spreading
+    a stuck-strobe plan that lit a stall state onto the sibling units and
+    seeds whose stall bins are still dark.  A step that drafts no fresh
+    candidate burns its budget, mirroring the collision cost of the
+    uniform baseline.
+    """
+    rng = random.Random(f"directed:{rng_seed}")
+    if universe is None:
+        universe = campaign_universe(seed_span)
+    coverage = CoverageMap()
+    covered = set()
+    executed = set()
+    corpus = []  # (config, novelty) pairs; weight = 1 + 4 * novelty
+    reports = []
+    seed_bins_cache = {}
+    # Promise decay is keyed per (family, fault kind): a contention run
+    # failing to light a stall bin says nothing about what a stuck-strobe
+    # run would do to it.
+    dark_tries = {}  # (family, kind, bin tag) -> failed promises
+
+    def _signature(config):
+        return (config["family"], config.get("kind"))
+
+    def potential(candidate):
+        # Integer arithmetic throughout: the sum runs over a set, and only
+        # an exact (order-independent) total keeps the campaign identical
+        # under every PYTHONHASHSEED.  A full promise is worth 2**8; each
+        # failed attempt halves it, hitting zero after eight tries.
+        promised = _seed_bins(candidate["seed"], seed_bins_cache) - covered
+        signature = _signature(candidate)
+        score = 0
+        boost = 3 if candidate["family"] == "fault" else 1
+        for tag in promised:
+            tries = dark_tries.get(signature + (tag,), 0)
+            weight = 2 ** (8 - tries) if tries < 8 else 0
+            score += weight * (boost if _is_stall_bin(tag) else 1)
+        return score
+
+    for _ in range(budget):
+        pool = []
+        pooled = set()
+        for _attempt in range(candidates):
+            if corpus and rng.random() < greed:
+                weights = [1 + 4 * novelty for _, novelty in corpus]
+                parent, _ = rng.choices(corpus, weights=weights)[0]
+                candidate = mutate_scenario_config(rng, parent, seed_span)
+            else:
+                candidate = random_scenario_config(rng, seed_span)
+            digest = scenario_config_digest(candidate)
+            if digest in executed or digest in pooled:
+                continue
+            pooled.add(digest)
+            pool.append(candidate)
+        if not pool:
+            continue
+        config = max(pool, key=potential)
+        promised = _seed_bins(config["seed"], seed_bins_cache) - covered
+        before = len(covered)
+        report = run_scenario_config(config, coverage, kernel, fsm_mode)
+        covered = _covered_bins(coverage, universe)
+        novelty = len(covered) - before
+        signature = _signature(config)
+        for tag in promised - covered:
+            key = signature + (tag,)
+            dark_tries[key] = dark_tries.get(key, 0) + 1
+        report["novelty"] = novelty
+        executed.add(report["digest"])
+        corpus.append((config, novelty))
+        reports.append(report)
+    return {"mode": "directed", "budget": budget, "executed": len(reports),
+            "coverage": coverage, "reports": reports}

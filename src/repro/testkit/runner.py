@@ -2,15 +2,23 @@
 
 Executes generated scenarios against the production and reference kernels
 and collects divergences into a :class:`ConformanceReport`.  Every failure
-message starts with the scenario name (``kernel-<size>-<seed>`` or
-``system-<seed>``), which is all that is needed to reproduce it::
+message starts with the scenario name (``kernel-<size>-<seed>``,
+``system-<seed>``, ``fault-<kind>-<seed>`` or ``realtime-<seed>``), which
+is all that is needed to reproduce it::
 
     python -m repro.testkit --replay kernel-medium-17
 """
 
+from repro.cosim.faults import FAULT_KINDS
 from repro.testkit.generator import KernelScenario
 from repro.testkit.models import generate_system
 from repro.testkit.oracles import check_cosim_conformance, check_cosyn_conformance
+from repro.testkit.scenarios import (
+    FaultScenario,
+    RealtimeScenario,
+    check_fault_scenario,
+    check_realtime_scenario,
+)
 
 #: Full-tier composition: (size, count) for kernel scenarios.  Together
 #: with the model tiers below this yields 200+ scenarios per `make
@@ -18,11 +26,16 @@ from repro.testkit.oracles import check_cosim_conformance, check_cosyn_conforman
 FULL_KERNEL_TIER = (("tiny", 80), ("small", 60), ("medium", 30), ("stress", 4))
 FULL_COSIM_MODELS = 60
 FULL_COSYN_MODELS = 40
+#: Fault tier: seeds per fault kind (every kind runs on every seed).
+FULL_FAULT_SEEDS = 12
+FULL_REALTIME_MODELS = 12
 
 #: Quick tier (< 30 s, wired into pytest).
 QUICK_KERNEL_TIER = (("tiny", 14), ("small", 8), ("medium", 2))
 QUICK_COSIM_MODELS = 5
 QUICK_COSYN_MODELS = 3
+QUICK_FAULT_SEEDS = 2
+QUICK_REALTIME_MODELS = 2
 
 
 def _describe_log_divergence(left_log, right_log):
@@ -82,6 +95,8 @@ class ConformanceReport:
 def run_conformance(kernel_tier=FULL_KERNEL_TIER,
                     cosim_models=FULL_COSIM_MODELS,
                     cosyn_models=FULL_COSYN_MODELS,
+                    fault_seeds=FULL_FAULT_SEEDS,
+                    realtime_models=FULL_REALTIME_MODELS,
                     seed_base=0, progress=None, fsm_mode=None):
     """Run a full conformance sweep; returns a :class:`ConformanceReport`.
 
@@ -117,14 +132,29 @@ def run_conformance(kernel_tier=FULL_KERNEL_TIER,
         report.record(problems)
         note(f"[cosyn ] {system.name} ({system.summary}): "
              f"{'ok' if not problems else 'FAILED'}")
+    for kind in FAULT_KINDS:
+        for offset in range(fault_seeds):
+            scenario = FaultScenario(seed_base + offset, kind=kind)
+            problems = check_fault_scenario(scenario, fsm_mode=fsm_mode)
+            report.record(problems)
+            note(f"[fault ] {scenario.name}: "
+                 f"{'ok' if not problems else 'FAILED'}")
+    for offset in range(realtime_models):
+        scenario = RealtimeScenario(seed_base + offset)
+        problems = check_realtime_scenario(scenario, fsm_mode=fsm_mode)
+        report.record(problems)
+        note(f"[rtime ] {scenario.name}: "
+             f"{'ok' if not problems else 'FAILED'}")
     return report
 
 
 def replay(name, fsm_mode=None):
     """Re-run one scenario from its printed name; returns problem strings.
 
-    Accepts ``kernel-<size>-<seed>`` (differential kernel check) and
-    ``system-<seed>`` (both cosim and cosyn oracles).
+    Accepts ``kernel-<size>-<seed>`` (differential kernel check),
+    ``system-<seed>`` (both cosim and cosyn oracles),
+    ``fault-<kind>-<seed>`` (differential fault-injection check) and
+    ``realtime-<seed>`` (back-annotated deadline check).
     """
     parts = name.split("-")
     if parts[0] == "kernel" and len(parts) == 3:
@@ -133,7 +163,15 @@ def replay(name, fsm_mode=None):
         system = generate_system(int(parts[1]))
         return (check_cosim_conformance(system, fsm_mode=fsm_mode)
                 + check_cosyn_conformance(system))
+    if parts[0] == "fault" and len(parts) >= 3:
+        kind = "-".join(parts[1:-1])
+        scenario = FaultScenario(int(parts[-1]), kind=kind)
+        return check_fault_scenario(scenario, fsm_mode=fsm_mode)
+    if parts[0] == "realtime" and len(parts) == 2:
+        scenario = RealtimeScenario(int(parts[1]))
+        return check_realtime_scenario(scenario, fsm_mode=fsm_mode)
     raise ValueError(
         f"unrecognised scenario name {name!r}; expected "
-        "'kernel-<size>-<seed>' or 'system-<seed>'"
+        "'kernel-<size>-<seed>', 'system-<seed>', 'fault-<kind>-<seed>' "
+        "or 'realtime-<seed>'"
     )

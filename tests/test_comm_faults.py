@@ -1,0 +1,162 @@
+"""Property tests: communication protocols under fault-injection hooks.
+
+Three protocol-level guarantees that must hold for *every* well-formed
+fault window, checked with hypothesis over the window placement:
+
+* the blocking **handshake** never deadlocks silently when either strobe
+  is stuck low for a window — both sides retry, so the stall is pure
+  delay and every expected word still arrives exactly once;
+* the **fifo** never loses or duplicates an item under a producer-side
+  ``PFULL`` stall window — the one phase-robust FIFO stall (masking the
+  consumer's acknowledge can genuinely lose a word to a stale ack; see
+  the taxonomy in :mod:`repro.cosim.faults`);
+* a **shared register** under force/release always reads
+  last-write-wins: the forced value while pinned, the latest driven
+  write after release.
+
+The session-level properties run on both simulation kernels (the window
+placement is the hypothesis-searched dimension; kernel conformance under
+faults is additionally swept by ``repro.testkit``'s fault tier).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cosim import CosimSession
+from repro.cosim.faults import FaultEvent, FaultPlan
+from repro.desim.signal import ForceValue, ReleaseValue, Signal
+from repro.testkit.models import generate_system
+from repro.testkit.oracles import (
+    check_functional_outcome,
+    run_session_to_completion,
+)
+from repro.testkit.scenarios import FAULT_MAX_TIME
+
+#: Pure-handshake system (``handshake/pair/SH``, clock 20 ns).
+HANDSHAKE_SEED = 1
+#: Pure-FIFO system (``fifo/pair/SH``, clock 60 ns).
+FIFO_SEED = 2
+
+
+def run_with_window(seed, port_suffix, value, at, duration):
+    """Run the generated system with one force window; returns problems.
+
+    The window forces the first port ending in *port_suffix* of the
+    system's first communication unit to *value* over ``[at, at+duration)``.
+    """
+    system = generate_system(seed)
+    session = CosimSession(system.build_model(), **system.cosim_params)
+    unit = next(iter(session.model.comm_units.values()))
+    port = next(name for name in unit.ports if name.endswith(port_suffix))
+    session.add_fault_plan(FaultPlan(f"window{port_suffix}", [
+        FaultEvent(at, "force", unit.name, port, value),
+        FaultEvent(at + duration, "release", unit.name, port),
+    ]))
+    result = run_session_to_completion(session, system.expectations,
+                                       max_time=FAULT_MAX_TIME)
+    return check_functional_outcome(session, result, system.expectations,
+                                    max_time=FAULT_MAX_TIME)
+
+
+class TestHandshakeUnderFaults:
+    @given(strobe=st.sampled_from(["_PUTRDY", "_GETACK"]),
+           at=st.integers(min_value=1, max_value=6_000),
+           duration=st.integers(min_value=1, max_value=4_000))
+    @settings(max_examples=12, deadline=None)
+    def test_stuck_strobe_is_pure_delay(self, strobe, at, duration):
+        """No silent deadlock, no loss: the transfer completes exactly.
+
+        The blocking handshake's controller refuses the next word until it
+        has *observed* the acknowledge go low, so masking either strobe
+        only stretches the transfer — the functional expectation (word
+        count and checksum) must hold for every window placement.
+        """
+        assert run_with_window(HANDSHAKE_SEED, strobe, 0, at, duration) == []
+
+
+class TestFifoUnderFaults:
+    @given(at=st.integers(min_value=1, max_value=8_000),
+           duration=st.integers(min_value=1, max_value=5_000))
+    @settings(max_examples=12, deadline=None)
+    def test_full_stall_never_loses_or_duplicates(self, at, duration):
+        """A ``PFULL`` window back-pressures the producer losslessly.
+
+        Forcing the full flag high makes the producer spin in its
+        WAIT_SPACE state; nothing is pushed blind and nothing already
+        queued is disturbed, so the consumer still receives every item
+        exactly once (word count and checksum both checked).
+        """
+        assert run_with_window(FIFO_SEED, "_PFULL", 1, at, duration) == []
+
+
+# One scripted interleaving step of the shared-register property:
+# an ordinary driver write, a force, or a release.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(min_value=0, max_value=7)),
+        st.tuples(st.just("force"), st.integers(min_value=0, max_value=7)),
+        st.tuples(st.just("release"), st.just(0)),
+    ),
+    min_size=1, max_size=24,
+)
+
+
+class TestSharedRegisterLastWriteWins:
+    @given(ops=_ops)
+    @settings(max_examples=50, deadline=None)
+    def test_reads_are_last_write_wins_under_force_release(self, ops):
+        """The signal layer the shared register rides on keeps the contract.
+
+        While forced, reads pin to the forced value and driver writes are
+        shadowed; a release restores the *latest* suppressed write (or
+        the pre-force value when none arrived) — exactly the
+        last-write-wins semantics an unforced register has.
+        """
+        signal = Signal("REG", init=0)
+        driven = 0     # what the drivers last wrote
+        forced = None  # the pinned value while a force window is open
+        for step, (op, value) in enumerate(ops):
+            if op == "write":
+                signal.stage(value)
+                driven = value
+            elif op == "force":
+                signal.stage(ForceValue(value))
+                forced = value
+            else:
+                signal.stage(ReleaseValue())
+                forced = None
+            signal.apply_pending(now=step)
+            expected = forced if forced is not None else driven
+            assert signal.read() == expected
+            assert signal.forced is (forced is not None)
+
+    @given(at=st.integers(min_value=100, max_value=3_000),
+           duration=st.integers(min_value=100, max_value=3_000))
+    @settings(max_examples=8, deadline=None)
+    def test_release_restores_the_driven_value_in_a_live_system(
+            self, at, duration):
+        """Integration shape of the same property, on a generated system.
+
+        The producer of a ``shared/pair`` system keeps writing on its own
+        schedule regardless of the fault, so after the release window the
+        register must track the driven sequence again: the final register
+        value equals the unfaulted run's, and the force is gone.
+        """
+        system = generate_system(11)  # shared/pair/HS — single shared_reg
+        baseline = CosimSession(system.build_model(), **system.cosim_params)
+        run_session_to_completion(baseline, system.expectations,
+                                  max_time=FAULT_MAX_TIME)
+        unit = next(iter(baseline.model.comm_units.values()))
+        reg = next(name for name in unit.ports if name.endswith("_REG"))
+        final = baseline.unit_signal(unit.name, reg).read()
+
+        faulted = CosimSession(system.build_model(), **system.cosim_params)
+        faulted.add_fault_plan(FaultPlan("pin_reg", [
+            FaultEvent(at, "force", unit.name, reg, 999),
+            FaultEvent(at + duration, "release", unit.name, reg),
+        ]))
+        run_session_to_completion(faulted, system.expectations,
+                                  max_time=FAULT_MAX_TIME)
+        forced_signal = faulted.unit_signal(unit.name, reg)
+        assert not forced_signal.forced
+        assert forced_signal.read() == final

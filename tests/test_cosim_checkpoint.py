@@ -15,6 +15,7 @@ from repro.cosim import CosimSession
 from repro.desim import Monitor
 from repro.testkit.models import generate_system
 from repro.testkit.oracles import cosim_fingerprint, run_session_to_completion
+from repro.testkit.scenarios import FAULT_MAX_TIME, FaultScenario
 from repro.utils.errors import SimulationError
 
 
@@ -92,6 +93,63 @@ class TestSessionCheckpoint:
         resumed.restore(checkpoint)
         assert len(resumed.monitors[0].violations) == violations_at_cut
         assert resumed.monitors[0].checks == session.monitors[0].checks
+
+    @pytest.mark.parametrize("kernel", ["production", "reference"])
+    def test_restore_mid_stuck_handshake_resumes_byte_identically(self, kernel):
+        """A checkpoint taken *inside* a fault window survives the round-trip.
+
+        The save lands while the acknowledge strobe is still forced low —
+        the injector's cursor sits between the force and release events,
+        and the signal's force/shadow state must travel with the
+        checkpoint for the release to restore the correct value.
+        """
+        scenario = FaultScenario(2, kind="stuck_handshake")
+        in_window = scenario.at + scenario.duration // 2
+
+        straight = scenario.build_session(kernel)
+        expected = cosim_fingerprint(
+            straight,
+            run_session_to_completion(straight, scenario.system.expectations,
+                                      max_time=FAULT_MAX_TIME),
+        )
+
+        interrupted = scenario.build_session(kernel)
+        interrupted.run(until=in_window)
+        injector = next(iter(interrupted.fault_injectors.values()))
+        assert injector.cursor == 1, "save must land between force and release"
+        forced_event = injector.plan.events[0]
+        assert interrupted.unit_signal(forced_event.unit,
+                                       forced_event.port).forced
+        blob = pickle.dumps(interrupted.save())
+
+        resumed = scenario.build_session(kernel).restore(pickle.loads(blob))
+        assert resumed.unit_signal(forced_event.unit, forced_event.port).forced
+        actual = cosim_fingerprint(
+            resumed,
+            run_session_to_completion(resumed, scenario.system.expectations,
+                                      max_time=FAULT_MAX_TIME),
+        )
+        assert actual == expected
+
+    @pytest.mark.parametrize("kind", ["dropped_handshake", "bus_contention",
+                                      "reset_mid_transaction"])
+    def test_restore_round_trips_every_fault_kind(self, kind):
+        scenario = FaultScenario(4, kind=kind, unit_index=1)
+        straight = scenario.build_session()
+        expected = cosim_fingerprint(
+            straight,
+            run_session_to_completion(straight, scenario.system.expectations,
+                                      max_time=FAULT_MAX_TIME),
+        )
+        interrupted = scenario.build_session()
+        interrupted.run(until=scenario.at + 1)
+        resumed = scenario.build_session().restore(interrupted.save())
+        actual = cosim_fingerprint(
+            resumed,
+            run_session_to_completion(resumed, scenario.system.expectations,
+                                      max_time=FAULT_MAX_TIME),
+        )
+        assert actual == expected
 
     def test_restore_rejects_parameter_mismatch(self):
         system = generate_system(0)

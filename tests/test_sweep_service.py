@@ -171,6 +171,47 @@ class TestJobBehaviour:
             assert clone.spec() == job.spec()
             assert clone.name == job.name
 
+    def test_coverage_job_records_scoreboard_and_caches(self, tmp_path):
+        """A ``--coverage`` cosim job is cacheable: record + map round-trip."""
+        job = CosimJob(2, coverage=True)
+        assert job.cacheable
+        record, payload = job.execute()
+        board = record["scoreboard"]
+        assert 0.0 < board["state_coverage"] <= 1.0
+        assert board["fault_survival"] is None
+        assert set(payload) == {"record", "coverage"}
+        assert payload["coverage"]["format"] == 1
+        clone = job_from_dict(job.spec())
+        served = clone.record_from_payload(payload, cached=True)
+        expected = dict(record)
+        expected["cached"] = True
+        assert served == expected
+
+        cache_dir = str(tmp_path / "cache")
+        cold = SweepService([job], workers=1,
+                            cache=ArtifactCache(cache_dir)).run()
+        warm = SweepService([job], workers=1,
+                            cache=ArtifactCache(cache_dir)).run()
+        assert cold.records[0]["cached"] is False
+        assert warm.records[0]["cached"] is True
+        assert warm.records[0]["coverage_digest"] == \
+            cold.records[0]["coverage_digest"]
+
+    def test_faulted_cosim_job_reports_survival_not_problems(self):
+        job = CosimJob(2, coverage=True, fault_kind="stuck_handshake")
+        assert "+stuck_handshake" in job.name
+        record, _ = job.execute()
+        # The stale-acknowledge word loss makes this FIFO system a known
+        # casualty of the masked consumer ack; the job must report that as
+        # fault survival data, never as a functional failure of the sweep.
+        assert record["error"] is None
+        assert record["functional_problems"] is None
+        assert record["fault_survival"] in (True, False)
+        assert record["scoreboard"]["fault_survival"] == \
+            record["fault_survival"]
+        with pytest.raises(ValueError, match="fault kind"):
+            CosimJob(0, fault_kind="gamma_rays")
+
     def test_jobs_from_dse_report_front(self):
         report = {"front": [
             {"platform": "microcoded", "hw_modules": ["Prod0"]},

@@ -18,7 +18,9 @@ from repro.testkit import (
 from repro.testkit.runner import (
     QUICK_COSIM_MODELS,
     QUICK_COSYN_MODELS,
+    QUICK_FAULT_SEEDS,
     QUICK_KERNEL_TIER,
+    QUICK_REALTIME_MODELS,
     replay,
     run_conformance,
 )
@@ -83,15 +85,36 @@ class TestKit:
     def test_replay_round_trip(self):
         assert replay("kernel-tiny-0") == []
         assert replay("system-0") == []
+        assert replay("fault-stuck_handshake-1") == []
+        assert replay("realtime-0") == []
         with pytest.raises(ValueError):
             replay("bogus-name")
 
     def test_report_aggregation(self):
         report = run_conformance(kernel_tier=(("tiny", 2),), cosim_models=1,
-                                 cosyn_models=1)
+                                 cosyn_models=1, fault_seeds=0,
+                                 realtime_models=0)
         assert report.scenarios_run == 4
         assert report.ok
         assert "4 scenarios — PASS" in report.summary()
+
+    def test_fault_and_realtime_tiers_pass(self):
+        """The quick fault/realtime tiers hold on both FSM execution tiers.
+
+        ``fsm_mode="differential"`` runs every fault scenario on the
+        compiled *and* interpreted tiers and cross-checks the full variant
+        matrix — the ISSUE's "full conformance sweep passes with
+        fault-injection scenarios in both fsm modes" criterion, at quick
+        scale.
+        """
+        report = run_conformance(kernel_tier=(), cosim_models=0,
+                                 cosyn_models=0,
+                                 fault_seeds=QUICK_FAULT_SEEDS,
+                                 realtime_models=QUICK_REALTIME_MODELS,
+                                 fsm_mode="differential")
+        assert report.ok, report.summary()
+        assert report.scenarios_run == \
+            4 * QUICK_FAULT_SEEDS + QUICK_REALTIME_MODELS
 
     def test_lossless_expectations_present(self):
         # At least some generated systems must carry functional oracles,

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-kernel bench-quick bench-seed bench-cosim bench-cosim-seed bench-cosim-quick bench-cosim-check conformance conformance-quick conformance-coverage dse dse-quick sweep sweep-quick quickstart
+.PHONY: test bench bench-kernel bench-quick bench-seed bench-cosim bench-cosim-seed bench-cosim-quick bench-cosim-check conformance conformance-quick conformance-coverage dse dse-quick sweep sweep-quick server server-smoke quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -75,6 +75,17 @@ sweep:
 # warm-cache re-run with zero re-synthesis (also run by CI).
 sweep-quick:
 	$(PYTHON) -m repro.sweep --quick --selfcheck --workers 2
+
+# Long-lived co-design job service: POST sweep job specs over HTTP, jobs
+# run on the shared worker pool with the warm artefact cache in front.
+server:
+	$(PYTHON) -m repro.server --port 8080 --cache-dir .sweep-cache
+
+# End-to-end service check: concurrent clients submit every job kind,
+# poll to done, fetch artifacts, verify a warm cacheable resubmission is
+# served from cache and scrape /metrics (also run by CI).
+server-smoke:
+	$(PYTHON) -m repro.server --selfcheck
 
 quickstart:
 	$(PYTHON) examples/quickstart.py

@@ -114,7 +114,9 @@ def make_fifo_controller(name, prefix, depth=4, data_width=16):
     build.variable("TAIL", index_type, 0)
     build.variable("COUNT", count_type, 0)
     build.variable("PREVRDY", word_type(1), 0)
+    build.variable("PREVACK", word_type(1), 0)
     build.variable("OFFERED", word_type(1), 0)
+    build.variable("WAITREL", word_type(1), 0)
     build.ports(f"{prefix}DATAIN", f"{prefix}PUTRDY", f"{prefix}PFULL",
                 f"{prefix}BUF", f"{prefix}CAVAIL", f"{prefix}GETACK")
 
@@ -129,12 +131,20 @@ def make_fifo_controller(name, prefix, depth=4, data_width=16):
         Assign("TAIL", BinMod(var("TAIL") + 1, depth)),
         Assign("COUNT", var("COUNT") + 1),
     ]
-    # The consumer-side handshake is a full four-phase exchange: a new word is
-    # only offered once the consumer has released its acknowledge, and the pop
-    # is evaluated *before* the offer so a word offered in this cycle can never
-    # be consumed by a stale acknowledge within the same cycle.
+    # The consumer side is a true four-phase exchange.  A pop commits only
+    # on a *rising edge* of GETACK (``PREVACK`` edge-tracks it exactly the
+    # way ``PREVRDY`` edge-tracks ``PUTRDY``), and after a pop the
+    # controller parks in a release-wait (``WAITREL``): it does not offer
+    # the next word until it has observed GETACK low in a cycle *after*
+    # the pop.  The release-wait clears one cycle behind the observation
+    # (the clear runs after the offer guard below), so ``CAVAIL`` stays
+    # low for at least two controller cycles between words — long enough
+    # that a consumer sampling at the module activation rate always
+    # witnesses the gap, and a forced-then-released acknowledge can delay
+    # a word but never pop one the consumer did not capture.
     offer_condition = (
         var("OFFERED").eq(0)
+        .and_(var("WAITREL").eq(0))
         .and_(var("COUNT").gt(0))
         .and_(port(f"{prefix}GETACK").eq(0))
     )
@@ -144,20 +154,30 @@ def make_fifo_controller(name, prefix, depth=4, data_width=16):
         PortWrite(f"{prefix}CAVAIL", 1),
         Assign("OFFERED", 1),
     ]
-    pop_condition = var("OFFERED").eq(1).and_(port(f"{prefix}GETACK").eq(1))
+    pop_condition = (
+        var("OFFERED").eq(1)
+        .and_(port(f"{prefix}GETACK").eq(1))
+        .and_(var("PREVACK").eq(0))
+    )
     pop_actions = [
         PortWrite(f"{prefix}CAVAIL", 0),
         Assign("OFFERED", 0),
+        Assign("WAITREL", 1),
         Assign("HEAD", BinMod(var("HEAD") + 1, depth)),
         Assign("COUNT", var("COUNT") - 1),
     ]
+    release_condition = (
+        var("WAITREL").eq(1).and_(port(f"{prefix}GETACK").eq(0))
+    )
 
     with build.state("RUN") as state:
         state.do(
             If(push_condition, push_actions, []),
             If(pop_condition, pop_actions, []),
             If(offer_condition, offer_actions, []),
+            If(release_condition, [Assign("WAITREL", 0)], []),
             Assign("PREVRDY", port(f"{prefix}PUTRDY")),
+            Assign("PREVACK", port(f"{prefix}GETACK")),
             PortWrite(f"{prefix}PFULL", var("COUNT").ge(depth)),
         )
         state.stay()

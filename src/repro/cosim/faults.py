@@ -18,13 +18,16 @@ of the coverage scoreboard, never asserted by the conformance oracle.
 The builders below map the protocol-level fault taxonomy onto wires:
 
 ``stuck_handshake``
-    The consumer's acknowledge strobe is forced low for a window.  The
-    blocking handshake stalls and resumes (a pure delay — its controller
-    refuses the next word until it has seen the acknowledge go low), but
-    the decoupled FIFO can *lose a word to a stale acknowledge*: with the
-    consumer's ack masked, the controller offers the next word early, and
-    the release then re-exposes the driven-high ack, popping a word the
-    consumer never captured.
+    The consumer's acknowledge strobe is forced low for a window.  Both
+    protocols stall and resume — a pure delay.  The blocking handshake's
+    controller refuses the next word until it has seen the acknowledge go
+    low; the decoupled FIFO controller pops only on an *observed rising
+    edge* of the acknowledge and holds its offer back through a
+    release-wait after each pop, so a forced-then-released acknowledge
+    can stretch the exchange but never pop a word the consumer did not
+    capture.  (Earlier revisions lost a word here to a stale acknowledge;
+    the four-phase consumer side of
+    :func:`repro.comm.protocols.fifo.make_fifo_controller` closed that.)
 ``dropped_handshake``
     The producer's ready strobe is forced low for a window.  The
     handshake protocol retries (delay only); the edge-detected FIFO push

@@ -105,14 +105,16 @@ class ReferenceSimulator(Simulator):
 
     def _update_phase(self):
         queue, self._delta_queue = self._delta_queue, []
-        # Keyed by id: first staging fixes the position, later writes to the
-        # same signal overwrite the value (last write wins).
+        # Keyed by id: first staging fixes the position; every queued value
+        # is staged so the signal's own slots resolve last-write-wins — a
+        # force/release control must compound with, not replace, a driven
+        # write queued in the same delta.
         staged = {}
         for signal, value in queue:
-            staged[id(signal)] = (signal, value)
-        changed = []
-        for signal, value in staged.values():
+            staged.setdefault(id(signal), signal)
             signal.stage(value)
+        changed = []
+        for signal in staged.values():
             if signal.apply_pending(self.now):
                 changed.append(signal)
                 if signal.name in self.signals:

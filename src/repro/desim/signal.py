@@ -27,10 +27,15 @@ class ForceValue:
     (:mod:`repro.cosim.faults`) uses force/release to model stuck wires
     and bus contention without touching the drivers.
 
-    Force and release travel through the normal transaction queue, so the
-    "last write in a delta wins" rule applies to them like any other
-    transaction — both kernels reduce a delta's queue to one value per
-    signal before applying, which keeps fault runs differentially
+    Force and release travel through the normal transaction queue, but a
+    signal stages them in a *control slot separate from the driven slot*:
+    within one delta, "last write wins" applies to driven writes and to
+    force/release independently, and a control transaction colliding with
+    a driven write in the same delta can never swallow it.  A same-delta
+    ``force + write`` pins the forced value and shadows the write; a
+    same-delta ``release + write`` unpins and then applies the write
+    (the driver's latest intent supersedes the restored shadow).  Both
+    kernels stage every queued value, so fault runs stay differentially
     comparable.
     """
 
@@ -80,8 +85,12 @@ class Signal:
         self.last_changed = 0
         self.event = False
         self.change_count = 0
-        # Pending transaction for the *next* update phase: (value,) or None.
-        self._pending = None
+        # Pending transactions for the *next* update phase.  Driven writes
+        # and force/release controls occupy separate slots so a control
+        # colliding with a same-delta write cannot swallow it (each slot is
+        # independently last-write-wins): (value,) / ForceValue / ReleaseValue.
+        self._pending_drive = None
+        self._pending_ctl = None
         # Kernel-owned dedup mark: True while this signal sits in the update
         # phase's staged list for the current delta (cleared when applied).
         self._staged = False
@@ -106,9 +115,14 @@ class Signal:
 
         Later stages within the same delta overwrite earlier ones (last
         driver wins within a single driver context — the kernel resolves
-        multiple drivers before staging).
+        multiple drivers before staging).  Force/release controls stage
+        into their own slot, so they compound with — rather than replace —
+        a driven write staged in the same delta.
         """
-        self._pending = (value,)
+        if type(value) is ForceValue or type(value) is ReleaseValue:
+            self._pending_ctl = value
+        else:
+            self._pending_drive = (value,)
 
     @property
     def forced(self):
@@ -116,27 +130,39 @@ class Signal:
         return self._forced is not None
 
     def apply_pending(self, now):
-        """Apply a staged transaction.  Returns ``True`` when an event occurs."""
-        if self._pending is None:
+        """Apply the staged transactions.  Returns ``True`` on an event.
+
+        The control slot (force/release) is applied first, then the driven
+        slot — the one order that makes a same-delta collision mean what
+        both parties intended: ``force + write`` pins the forced value and
+        shadows the write for a later release; ``release + write`` unpins
+        and lets the write through (the driver's latest intent supersedes
+        the restored shadow).
+        """
+        ctl = self._pending_ctl
+        drive = self._pending_drive
+        if ctl is None and drive is None:
             return False
-        (new_value,) = self._pending
-        self._pending = None
-        if type(new_value) is ForceValue:
+        self._pending_ctl = None
+        self._pending_drive = None
+        new_value = self._value
+        if type(ctl) is ForceValue:
             if self._forced is None:
                 self._shadow = (self._value,)
-            self._forced = (new_value.value,)
-            new_value = new_value.value
-        elif type(new_value) is ReleaseValue:
-            if self._forced is None:
-                return False
+            self._forced = (ctl.value,)
+            new_value = ctl.value
+        elif type(ctl) is ReleaseValue and self._forced is not None:
             self._forced = None
             shadow, self._shadow = self._shadow, None
             (new_value,) = shadow
-        elif self._forced is not None:
-            # Drivers keep driving a forced signal; the visible value does
-            # not move, but the last attempt is remembered for release.
-            self._shadow = (new_value,)
-            return False
+        if drive is not None:
+            if self._forced is not None:
+                # Drivers keep driving a forced signal; the visible value
+                # does not move, but the last attempt is remembered so a
+                # release restores last-write-wins semantics.
+                self._shadow = drive
+            else:
+                (new_value,) = drive
         if new_value == self._value:
             return False
         self._value = new_value
@@ -151,7 +177,8 @@ class Signal:
     def reset(self):
         """Restore the initial value (used when a simulator is re-run)."""
         self._value = self._init
-        self._pending = None
+        self._pending_drive = None
+        self._pending_ctl = None
         self._staged = False
         self._forced = None
         self._shadow = None
@@ -164,8 +191,8 @@ class Signal:
     def capture_state(self):
         """Picklable copy of the signal's mutable state (checkpointing).
 
-        Only taken between delta cycles, when ``event``/``_pending`` /
-        ``_staged`` are quiescent; pending *future* transactions live in the
+        Only taken between delta cycles, when ``event`` and the pending
+        slots are quiescent; pending *future* transactions live in the
         kernel, not here.
         """
         return {
@@ -183,7 +210,8 @@ class Signal:
         self.change_count = state["change_count"]
         self._forced = state.get("forced")
         self._shadow = state.get("shadow")
-        self._pending = None
+        self._pending_drive = None
+        self._pending_ctl = None
         self._staged = False
         self.event = False
 

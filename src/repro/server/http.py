@@ -1,0 +1,132 @@
+"""Thin JSON/HTTP shim over :class:`repro.server.service.JobService`.
+
+Standard library only: ``http.server.ThreadingHTTPServer`` dispatches
+each request on its own thread to a handler that translates routes into
+``JobService`` calls and library errors into status codes:
+
+====== ========================== ===========================================
+Method Route                      Meaning
+====== ========================== ===========================================
+GET    ``/metrics``               service counters (queue, states, cache, fsm)
+GET    ``/jobs``                  summaries of every submitted job
+GET    ``/jobs/<id>``             full record of one job (spec, state, record)
+GET    ``/jobs/<id>/artifacts``   cached payload of a cacheable job
+POST   ``/jobs``                  submit one spec or a list → 202 Accepted
+POST   ``/tick``                  advance the re-sweep scheduler clock
+====== ========================== ===========================================
+
+Errors: malformed JSON or an invalid spec is 400, an unknown route or job
+id is 404, a full queue is 503 (back-pressure — retry after the backlog
+drains).  Every response body is a JSON object.
+"""
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.server.service import QueueFullError
+
+
+class JobRequestHandler(BaseHTTPRequestHandler):
+    """Route HTTP requests to the :class:`JobService` in ``server.service``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-server/1"
+
+    # ------------------------------------------------------------- responses
+
+    def _send_json(self, status, payload):
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status, message):
+        self._send_json(status, {"error": message})
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body (expected JSON)")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+
+    # ----------------------------------------------------------------- routes
+
+    def do_GET(self):
+        service = self.server.service
+        path = self.path.rstrip("/") or "/"
+        if path == "/metrics":
+            self._send_json(200, service.metrics())
+            return
+        if path == "/jobs":
+            self._send_json(200, {
+                "jobs": [record.summary() for record in service.jobs()],
+            })
+            return
+        if path.startswith("/jobs/"):
+            parts = path[len("/jobs/"):].split("/")
+            record = service.get(parts[0])
+            if record is None:
+                self._error(404, f"no such job: {parts[0]}")
+                return
+            if len(parts) == 1:
+                self._send_json(200, record.as_dict())
+                return
+            if len(parts) == 2 and parts[1] == "artifacts":
+                payload = service.artifact(record.id)
+                if payload is None:
+                    self._error(404, f"no cached artifact for {record.id} "
+                                     "(job not cacheable, or not finished)")
+                    return
+                self._send_json(200, {"id": record.id,
+                                      "cache_key": record.cache_key,
+                                      "payload": payload})
+                return
+        self._error(404, f"unknown route: GET {self.path}")
+
+    def do_POST(self):
+        service = self.server.service
+        path = self.path.rstrip("/")
+        if path == "/jobs":
+            try:
+                body = self._read_body()
+                records = service.submit_body(body)
+            except ValueError as exc:
+                self._error(400, str(exc))
+                return
+            except QueueFullError as exc:
+                self._error(503, str(exc))
+                return
+            self._send_json(202, {
+                "accepted": len(records),
+                "jobs": [record.summary() for record in records],
+            })
+            return
+        if path == "/tick":
+            self._send_json(200, service.tick())
+            return
+        self._error(404, f"unknown route: POST {self.path}")
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+def create_server(service, host="127.0.0.1", port=0, verbose=False):
+    """Bind a :class:`ThreadingHTTPServer` serving *service*.
+
+    ``port=0`` picks an ephemeral port; read it back from
+    ``server.server_address[1]``.  The caller owns both lifecycles:
+    ``service.start()`` before serving, ``server.shutdown()`` +
+    ``service.stop()`` to wind down.
+    """
+    server = ThreadingHTTPServer((host, port), JobRequestHandler)
+    server.daemon_threads = True
+    server.service = service
+    server.verbose = verbose
+    return server

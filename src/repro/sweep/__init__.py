@@ -21,8 +21,10 @@ semantics.
 
 from repro.sweep.cache import ArtifactCache
 from repro.sweep.jobs import (
+    ConformanceJob,
     CosimJob,
     CosynJob,
+    DseJob,
     KernelJob,
     SweepJob,
     job_from_dict,
@@ -32,8 +34,10 @@ from repro.sweep.service import SweepReport, SweepService
 
 __all__ = [
     "ArtifactCache",
+    "ConformanceJob",
     "CosimJob",
     "CosynJob",
+    "DseJob",
     "KernelJob",
     "SweepJob",
     "SweepReport",

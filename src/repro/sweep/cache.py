@@ -12,11 +12,20 @@ Layout: ``<root>/<key[:2]>/<key>.json``, each file a JSON envelope::
 
     {"format": 1, "key": ..., "sha256": <digest of payload>, "payload": ...}
 
-Writes are atomic (temp file + ``os.replace``), so a crashed writer never
-leaves a half-written entry behind.  Reads verify the envelope: anything
-unreadable, truncated or failing the payload checksum is **deleted and
-treated as a miss** (counted in ``stats["invalidated"]``) — a corrupted
-cache can cost time, never correctness.
+Writes are atomic: the envelope is written to a uniquely-named temp file
+*in the entry's own directory* and ``os.replace``-d over the destination,
+so a crashed writer never leaves a half-written entry behind and two
+processes ``put``-ing the same key concurrently simply race to
+last-writer-wins — both write complete, checksummed envelopes.  Reads
+tolerate a concurrent replace (an already-open handle keeps reading its
+own consistent inode; a not-yet-present entry is a plain miss) and verify
+the envelope: anything unreadable, truncated or failing the payload
+checksum is **deleted and treated as a miss** (counted in
+``stats["invalidated"]``).  Invalidation is inode-guarded so a reader that
+saw a corrupt entry does not delete the fresh entry a concurrent writer
+replaced it with (best-effort: the guard closes the race down to a
+stat/unlink window, and losing that race costs a re-run, never
+correctness) — a corrupted cache can cost time, never correctness.
 """
 
 import json
@@ -54,14 +63,22 @@ class ArtifactCache:
         checksum mismatch) is removed and reported as a miss.
         """
         path = self._path(key)
+        stamp = None
         try:
-            with open(path, "r", encoding="ascii") as handle:
+            with open(path, "rb") as handle:
+                # Identity of the inode actually read: a concurrent
+                # os.replace() swaps the directory entry but never this
+                # open handle, so the parse below sees one consistent
+                # file — and invalidation can check it is still deleting
+                # the entry it judged, not a fresh replacement.
+                status = os.fstat(handle.fileno())
+                stamp = (status.st_dev, status.st_ino)
                 envelope = json.load(handle)
         except FileNotFoundError:
             self.stats["misses"] += 1
             return None
         except (OSError, ValueError, UnicodeDecodeError):
-            self._invalidate(path)
+            self._invalidate(path, stamp)
             return None
         if (
             not isinstance(envelope, dict)
@@ -69,7 +86,7 @@ class ArtifactCache:
             or envelope.get("key") != key
             or envelope.get("sha256") != content_digest(envelope.get("payload"))
         ):
-            self._invalidate(path)
+            self._invalidate(path, stamp)
             return None
         self.stats["hits"] += 1
         return envelope["payload"]
@@ -100,10 +117,22 @@ class ArtifactCache:
         self.stats["writes"] += 1
         return payload
 
-    def _invalidate(self, path):
+    def _invalidate(self, path, stamp=None):
+        """Remove a bad entry; count the miss.
+
+        *stamp* is the ``(st_dev, st_ino)`` identity of the inode the
+        failed read actually saw.  When the directory entry no longer
+        points at it — a concurrent ``put`` replaced the corrupt file
+        with a fresh one — the unlink is skipped so the reader cannot
+        half-invalidate its neighbour's good write.
+        """
         self.stats["misses"] += 1
         self.stats["invalidated"] += 1
         try:
+            if stamp is not None:
+                status = os.stat(path)
+                if (status.st_dev, status.st_ino) != stamp:
+                    return
             os.unlink(path)
         except OSError:
             pass

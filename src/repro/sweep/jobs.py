@@ -17,6 +17,14 @@ report verbatim.  Three kinds cover the project's workloads:
   artefact dict is the **cacheable payload**: the sweep service stores it
   content-addressed by the job spec, so repeated partitions never re-run
   HLS.
+* :class:`ConformanceJob` — one named testkit scenario
+  (``kernel-<size>-<seed>``, ``system-<seed>``, ``fault-<kind>-<seed>``,
+  ``realtime-<seed>``) replayed through the differential conformance
+  oracles; divergences surface as functional problems.
+* :class:`DseJob` — one full partition exploration
+  (:class:`~repro.dse.explorer.DesignSpaceExplorer`) of a generated
+  system; the JSON exploration report (Pareto front + synthesis
+  artefacts) is the cacheable payload.
 
 ``job.spec()`` is the job's identity (canonical, JSON-serializable);
 ``job.execute()`` returns ``(record, payload)`` where *record* is the
@@ -334,10 +342,129 @@ class CosynJob(SweepJob):
         return record
 
 
+class ConformanceJob(SweepJob):
+    """Replay one named conformance scenario through the differential kit.
+
+    *scenario* is the testkit name (``kernel-<size>-<seed>``,
+    ``system-<seed>``, ``fault-<kind>-<seed>``, ``realtime-<seed>``) —
+    exactly what ``python -m repro.testkit --replay`` accepts.  Any
+    divergence between kernels/tiers (or a missed functional expectation)
+    lands in the record's ``functional_problems``, so a batch containing
+    conformance jobs fails its report when conformance breaks.
+    """
+
+    kind = "conformance"
+
+    def __init__(self, scenario, fsm_mode=None):
+        self.scenario = str(scenario)
+        if fsm_mode is None:
+            from repro.ir.interp import DEFAULT_FSM_MODE
+            fsm_mode = DEFAULT_FSM_MODE
+        self.fsm_mode = fsm_mode
+
+    def spec(self):
+        return {"kind": self.kind, "scenario": self.scenario,
+                "fsm_mode": self.fsm_mode}
+
+    @property
+    def name(self):
+        return f"conformance-{self.scenario}"
+
+    def execute(self):
+        from repro.testkit.runner import replay
+
+        problems = replay(self.scenario, fsm_mode=self.fsm_mode)
+        record = self._base_record()
+        record.update({
+            "ok": not problems,
+            "functional_problems": list(problems),
+        })
+        return record, None
+
+
+class DseJob(SweepJob):
+    """One full hw/sw partition exploration of a generated system; cacheable.
+
+    The exploration report — Pareto front with complete co-synthesis
+    artefacts per winner — is a pure function of the spec (the search is
+    seeded), so it is stored in the artefact cache like a synthesis run.
+    Evaluation always runs serially inside the job: sweep/server workers
+    are daemonic processes and may not spawn a nested pool; parallelism
+    comes from running many jobs, not from inside one.
+    """
+
+    kind = "dse"
+    cacheable = True
+
+    def __init__(self, seed, networks=None, mode="auto", platforms=None,
+                 search_seed=0, restarts=3, max_rounds=20):
+        self.seed = int(seed)
+        self.networks = None if networks is None else int(networks)
+        if mode not in ("auto", "exhaustive", "heuristic"):
+            raise ValueError(f"unknown DSE mode {mode!r}; "
+                             "expected auto, exhaustive or heuristic")
+        self.mode = mode
+        self.platforms = (None if platforms is None
+                          else sorted(str(name) for name in platforms))
+        self.search_seed = int(search_seed)
+        self.restarts = int(restarts)
+        self.max_rounds = int(max_rounds)
+
+    def spec(self):
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "networks": self.networks,
+            "mode": self.mode,
+            "platforms": self.platforms,
+            "search_seed": self.search_seed,
+            "restarts": self.restarts,
+            "max_rounds": self.max_rounds,
+        }
+
+    @property
+    def name(self):
+        suffix = f"x{self.networks}" if self.networks is not None else ""
+        return f"dse-{self.seed}{suffix}@{self.mode}"
+
+    def execute(self):
+        from repro.dse.explorer import DesignSpaceExplorer
+        from repro.testkit.models import generate_system
+
+        system = generate_system(self.seed, networks=self.networks)
+        explorer = DesignSpaceExplorer(system.build_model(),
+                                       platforms=self.platforms,
+                                       cosim_params=system.cosim_params,
+                                       expectations=system.expectations)
+        report = explorer.explore(mode=self.mode, seed=self.search_seed,
+                                  restarts=self.restarts,
+                                  max_rounds=self.max_rounds)
+        payload = report.as_dict()
+        return self.record_from_payload(payload, cached=False), payload
+
+    def record_from_payload(self, payload, cached):
+        """Report entry from an exploration report (fresh or cache-served)."""
+        record = self._base_record()
+        record.update({
+            "mode": payload["mode"],
+            "platforms": list(payload["platforms"]),
+            "evaluated": payload["evaluated"],
+            "feasible": payload["feasible"],
+            "front": [{"platform": entry["platform"],
+                       "hw_modules": entry["hw_modules"]}
+                      for entry in payload["front"]],
+            "report_digest": content_digest(payload),
+            "cached": cached,
+        })
+        return record
+
+
 _JOB_KINDS = {
     KernelJob.kind: KernelJob,
     CosimJob.kind: CosimJob,
     CosynJob.kind: CosynJob,
+    ConformanceJob.kind: ConformanceJob,
+    DseJob.kind: DseJob,
 }
 
 

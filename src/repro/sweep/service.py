@@ -109,6 +109,12 @@ class SweepReport:
                 problems = record.get("functional_problems")
                 outcome = "ok" if not problems else f"{len(problems)} problems"
                 outcome += f" @{record['end_time']} ns"
+            elif record["kind"] == "conformance":
+                problems = record.get("functional_problems")
+                outcome = "ok" if not problems else f"{len(problems)} problems"
+            elif record["kind"] == "dse":
+                outcome = (f"front {len(record['front'])}"
+                           + (" [cached]" if record.get("cached") else ""))
             else:
                 outcome = f"@{record['end_time']} ns"
             rows.append((record["name"], record["kind"], outcome))

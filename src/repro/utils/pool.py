@@ -8,17 +8,43 @@ same requirements:
 * prefer the ``fork`` start method, so custom platforms and models
   registered in the parent process stay visible to workers without being
   importable,
-* preserve submission order (``Pool.map``), so a parallel run merges into
-  a report **byte-identical** to a serial run — the worker count may only
-  change wall-clock time,
+* preserve submission order, so a parallel run merges into a report
+  **byte-identical** to a serial run — the worker count may only change
+  wall-clock time,
 * auto-size chunks so the pool is neither starved nor dominated by one
-  straggler chunk.
+  straggler chunk,
+* surface a worker that dies mid-batch (OOM kill, hard crash) as a
+  :class:`PoolError` naming the first unfinished item, instead of the
+  bare ``multiprocessing`` behaviour — a silent hang, because the pool
+  replaces the dead process but the task it carried is simply lost.
 
 This module owns that shape once; consumers supply only the work function
 and, optionally, a per-worker initializer.
 """
 
 import multiprocessing
+
+from repro.utils.errors import ReproError
+
+
+def _run_chunk(payload):
+    """Worker entry for one chunk: ``(func, items) -> [func(i) for i]``.
+
+    Chunking is done here, by hand, because ``Pool.imap`` only returns the
+    timeout-capable ``IMapIterator`` for ``chunksize == 1`` — larger chunk
+    sizes hand back a plain generator, which the liveness-polling loop in
+    :meth:`WorkerPool.map` could not poll.
+    """
+    func, chunk = payload
+    return [func(item) for item in chunk]
+
+
+class PoolError(ReproError):
+    """A worker process died mid-batch; carries the first unfinished index."""
+
+    def __init__(self, message, item_index=None):
+        super().__init__(message)
+        self.item_index = item_index
 
 
 class WorkerPool:
@@ -32,13 +58,20 @@ class WorkerPool:
         Optional per-worker setup, exactly as for ``multiprocessing.Pool``.
 
     Use as a context manager; :meth:`map` blocks until every item is done
-    and returns results in submission order.
+    and returns results in submission order.  A worker dying mid-``map``
+    raises :class:`PoolError`; leaving the ``with`` block on any pending
+    exception terminates the pool instead of joining it (a lost task
+    never completes, so an orderly ``close``/``join`` would hang).
     """
+
+    #: Seconds between liveness polls while waiting on in-flight results.
+    _POLL_INTERVAL = 0.05
 
     def __init__(self, workers, initializer=None, initargs=()):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self._broken = False
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # platform without fork
@@ -49,22 +82,91 @@ class WorkerPool:
             initargs=initargs,
         )
 
+    # ---------------------------------------------------------------- running
+
+    def _worker_pids(self):
+        return {process.pid for process in self._pool._pool}
+
     def map(self, func, items, chunksize=None):
-        """Run ``func`` over *items* on the pool, in submission order."""
+        """Run ``func`` over *items* on the pool, in submission order.
+
+        Results stream back through an ordered ``imap`` so progress is
+        observable.  A worker process disappearing mid-batch (its PID
+        leaves the pool — ``multiprocessing`` transparently replaces
+        crashed workers, abandoning whatever they carried) breaks the
+        whole batch: already-delivered results stay delivered, the pool
+        is marked broken, and a :class:`PoolError` names the first item
+        whose result never arrived.  This mirrors
+        ``concurrent.futures.BrokenProcessPool`` semantics — a plain
+        ``Pool.map`` would instead hang forever on the lost task.
+        """
+        if self._broken:
+            raise PoolError("worker pool is broken (a worker died earlier)")
         items = list(items)
         if not items:
             return []
         if chunksize is None:
             chunksize = max(1, len(items) // (4 * self.workers))
-        return self._pool.map(func, items, chunksize=chunksize)
+        chunks = [(func, items[start:start + chunksize])
+                  for start in range(0, len(items), chunksize)]
+        known_pids = self._worker_pids()
+        iterator = self._pool.imap(_run_chunk, chunks, chunksize=1)
+        results = []
+        while len(results) < len(items):
+            try:
+                results.extend(iterator.next(timeout=self._POLL_INTERVAL))
+                continue
+            except multiprocessing.TimeoutError:
+                pass
+            if self._broken:
+                # Another thread's map broke the pool (or terminate() ran);
+                # our in-flight work died with the workers.
+                raise PoolError(
+                    f"worker pool broke mid-map; item {len(results)} of "
+                    f"{len(items)} never finished",
+                    item_index=len(results),
+                )
+            dead = known_pids - self._worker_pids()
+            if dead:
+                self._broken = True
+                raise PoolError(
+                    f"worker process(es) {sorted(dead)} died mid-map; "
+                    f"item {len(results)} of {len(items)} never finished "
+                    f"({len(results)} results were already completed)",
+                    item_index=len(results),
+                )
+        return results
+
+    # ---------------------------------------------------------------- closing
+
+    def terminate(self):
+        """Kill the workers immediately (pending work is abandoned).
+
+        Marks the pool broken first, so maps concurrently blocked in other
+        threads raise :class:`PoolError` instead of waiting forever on
+        results that died with the workers.
+        """
+        self._broken = True
+        self._pool.terminate()
+        self._pool.join()
 
     def close(self):
+        if self._broken:
+            # A lost task never completes; join() would wait forever.
+            self.terminate()
+            return
         self._pool.close()
         self._pool.join()
 
     def __enter__(self):
         return self
 
-    def __exit__(self, *exc_info):
-        self.close()
+    def __exit__(self, exc_type, exc_value, traceback):
+        if exc_type is not None:
+            # An exception is unwinding through the batch: abandon the
+            # in-flight work rather than joining a pool that may never
+            # drain (the exception may *be* a lost-task PoolError).
+            self.terminate()
+        else:
+            self.close()
         return False

@@ -7,9 +7,11 @@ fault window, checked with hypothesis over the window placement:
   is stuck low for a window — both sides retry, so the stall is pure
   delay and every expected word still arrives exactly once;
 * the **fifo** never loses or duplicates an item under a producer-side
-  ``PFULL`` stall window — the one phase-robust FIFO stall (masking the
-  consumer's acknowledge can genuinely lose a word to a stale ack; see
-  the taxonomy in :mod:`repro.cosim.faults`);
+  ``PFULL`` stall window *or* a consumer-side ``GETACK`` mask window —
+  the controller's four-phase consumer side (pop on an observed ack
+  rising edge, re-offer only after seeing the ack low post-pop) makes a
+  forced-then-released acknowledge pure delay, exactly like the
+  handshake (see the taxonomy in :mod:`repro.cosim.faults`);
 * a **shared register** under force/release always reads
   last-write-wins: the forced value while pinned, the latest driven
   write after release.
@@ -19,13 +21,21 @@ placement is the hypothesis-searched dimension; kernel conformance under
 faults is additionally swept by ``repro.testkit``'s fault tier).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.comm.channels import fifo_channel
+from repro.core.model import SystemModel
 from repro.cosim import CosimSession
 from repro.cosim.faults import FaultEvent, FaultPlan
 from repro.desim.signal import ForceValue, ReleaseValue, Signal
-from repro.testkit.models import generate_system
+from repro.testkit.models import (
+    _add_module,
+    _consumer_fsm,
+    _producer_fsm,
+    generate_system,
+)
 from repro.testkit.oracles import (
     check_functional_outcome,
     run_session_to_completion,
@@ -87,6 +97,74 @@ class TestFifoUnderFaults:
         exactly once (word count and checksum both checked).
         """
         assert run_with_window(FIFO_SEED, "_PFULL", 1, at, duration) == []
+
+    @given(at=st.integers(min_value=1, max_value=8_000),
+           duration=st.integers(min_value=1, max_value=5_000))
+    @settings(max_examples=12, deadline=None)
+    def test_stuck_ack_is_pure_delay_exactly_once(self, at, duration):
+        """A masked consumer acknowledge delays words but never loses one.
+
+        This is the stale-acknowledge regression: the controller used to
+        re-offer as soon as it saw the (masked) ack low, so the release
+        re-exposed the consumer's still-driven-high ack and popped a word
+        the consumer never captured.  With the four-phase consumer side —
+        pop only on an observed ``GETACK`` rising edge, no re-offer until
+        the ack has been seen low *after* the pop — every pushed word is
+        delivered exactly once (word count and checksum both checked) for
+        every window placement.
+        """
+        assert run_with_window(FIFO_SEED, "_GETACK", 0, at, duration) == []
+
+
+def _fast_producer_slow_consumer():
+    """The stale-acknowledge worst case: hardware producer, software consumer.
+
+    The hardware producer pushes at clock rate while the software consumer
+    samples only every second clock — the widest offer/sample gap the
+    generator's activation policy allows.  Pre-fix, an off-grid ``GETACK``
+    mask window over this system popped a word the consumer never captured
+    (exactly one per window), which is the regression the windows below pin.
+    """
+    words, start = 12, 3
+    expectations = {"Cons0": {"words": words,
+                              "total": sum(range(start, start + words))}}
+    params = {"clock_period": 100, "sw_activation_period": 200}
+
+    def build():
+        model = SystemModel("ModeB")
+        model.add_comm_unit(fifo_channel("Net0", put_name="PUSH",
+                                         get_name="POP", prefix="NT0",
+                                         depth=4))
+        _add_module(model, "Prod0",
+                    _producer_fsm("PROD0", "PUSH", words, start),
+                    False, None)
+        _add_module(model, "Cons0", _consumer_fsm("CONS0", "POP", words),
+                    True, None)
+        model.bind("Prod0", "PUSH", "Net0")
+        model.bind("Cons0", "POP", "Net0")
+        return model
+
+    return build, expectations, params
+
+
+class TestFifoStaleAckRegression:
+    @pytest.mark.parametrize("kernel", ["production", "reference"])
+    @pytest.mark.parametrize("at,duration", [(2037, 100), (2637, 500)])
+    def test_masked_ack_window_delivers_every_word(self, kernel, at,
+                                                   duration):
+        """Windows that lost word 8 (of 12) before the four-phase fix."""
+        build, expectations, params = _fast_producer_slow_consumer()
+        session = CosimSession(build(), kernel=kernel, **params)
+        unit = next(iter(session.model.comm_units.values()))
+        ack = next(name for name in unit.ports if name.endswith("_GETACK"))
+        session.add_fault_plan(FaultPlan("mask_ack", [
+            FaultEvent(at, "force", unit.name, ack, 0),
+            FaultEvent(at + duration, "release", unit.name, ack),
+        ]))
+        result = run_session_to_completion(session, expectations,
+                                          max_time=FAULT_MAX_TIME)
+        assert check_functional_outcome(session, result, expectations,
+                                        max_time=FAULT_MAX_TIME) == []
 
 
 # One scripted interleaving step of the shared-register property:

@@ -1,0 +1,253 @@
+"""Tests for the long-lived job service (repro.server).
+
+Most tests drive :class:`JobService` directly — the HTTP layer is a thin
+shim — with one end-to-end pass through a real ``ThreadingHTTPServer``
+socket.  Queue-shape tests construct the service *without* ``start()``,
+so submissions stay deterministically queued.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server import JobService, QueueFullError, create_server
+from repro.server.service import JOB_STATES
+
+
+def _wait_done(service, records, timeout=90):
+    deadline = time.monotonic() + timeout
+    while any(r.state not in ("done", "failed") for r in records):
+        assert time.monotonic() < deadline, \
+            f"jobs stuck: {[r.summary() for r in records]}"
+        time.sleep(0.05)
+
+
+@pytest.fixture(scope="module")
+def running_service(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("server-cache")
+    service = JobService(workers=2, cache=str(cache_dir)).start()
+    yield service
+    service.stop()
+
+
+class TestJobLifecycle:
+    def test_kernel_job_runs_to_done(self, running_service):
+        record = running_service.submit_spec(
+            {"kind": "kernel", "size": "tiny", "seed": 11})
+        assert record.state in ("queued", "running", "done")
+        _wait_done(running_service, [record])
+        assert record.state == "done"
+        assert record.error is None
+        assert record.record["fingerprint_digest"]
+        assert record.started_at is not None
+        assert record.finished_at >= record.started_at
+
+    def test_batch_submission_mixes_kinds(self, running_service):
+        records = running_service.submit_body([
+            {"kind": "kernel", "size": "tiny", "seed": 12},
+            {"kind": "cosim", "seed": 4, "networks": 1},
+            {"kind": "conformance", "scenario": "kernel-tiny-2"},
+        ])
+        assert [r.job.kind for r in records] == \
+            ["kernel", "cosim", "conformance"]
+        _wait_done(running_service, records)
+        assert all(r.state == "done" for r in records)
+        cosim = records[1].record
+        assert cosim["functional_problems"] == []
+        assert cosim["fsm"]["compile_hits"] > 0
+        conformance = records[2].record
+        assert conformance["ok"] is True
+
+    def test_failed_job_reports_its_error(self, running_service):
+        # An unparsable conformance scenario raises inside the worker; the
+        # error degrades to a failed record, not a dead service.
+        record = running_service.submit_spec(
+            {"kind": "conformance", "scenario": "not-a-scenario"})
+        _wait_done(running_service, [record])
+        assert record.state == "failed"
+        assert "unrecognised scenario" in record.error
+
+    def test_warm_cacheable_resubmission_is_served_from_cache(
+            self, running_service):
+        spec = {"kind": "cosim", "seed": 5, "networks": 1, "coverage": True}
+        cold = running_service.submit_spec(spec)
+        _wait_done(running_service, [cold])
+        assert cold.state == "done" and not cold.cached
+        assert running_service.artifact(cold.id) is not None
+
+        warm = running_service.submit_spec(spec)
+        # Answered at submission time: done immediately, never queued.
+        assert warm.state == "done"
+        assert warm.cached is True
+        assert warm.record["coverage_digest"] == \
+            cold.record["coverage_digest"]
+        assert running_service.cache.stats["hits"] >= 1
+
+    def test_artifact_of_uncacheable_job_is_none(self, running_service):
+        record = running_service.submit_spec(
+            {"kind": "kernel", "size": "tiny", "seed": 13})
+        _wait_done(running_service, [record])
+        assert running_service.artifact(record.id) is None
+
+    def test_metrics_schema_and_fsm_aggregation(self, running_service):
+        metrics = running_service.metrics()
+        assert metrics["format"] == 1
+        assert set(metrics["jobs"]["by_state"]) == set(JOB_STATES)
+        assert metrics["jobs"]["submitted"] == len(running_service.jobs())
+        assert metrics["queue"]["limit"] == running_service.queue_limit
+        assert metrics["cache"]["writes"] >= 1
+        # The cosim jobs above ran compiled FSMs; their per-job counters
+        # must have rolled up into the service totals.
+        assert metrics["fsm"]["compile_hits"] > 0
+        assert metrics["fsm"]["steps"] > 0
+        assert metrics["fsm"]["fallback"] == 0
+
+
+class TestQueueShape:
+    """Deterministic queue behaviour: the service is never started."""
+
+    def test_queue_full_raises_and_keeps_fifo_order(self):
+        service = JobService(workers=1, queue_limit=2)
+        first = service.submit_spec({"kind": "kernel", "size": "tiny",
+                                     "seed": 0})
+        second = service.submit_spec({"kind": "kernel", "size": "tiny",
+                                      "seed": 1})
+        with pytest.raises(QueueFullError):
+            service.submit_spec({"kind": "kernel", "size": "tiny",
+                                 "seed": 2})
+        assert [r.id for r in service.jobs()] == [first.id, second.id]
+        assert service.metrics()["queue"]["depth"] == 2
+
+    def test_batch_is_all_or_nothing(self):
+        service = JobService(workers=1, queue_limit=2)
+        service.submit_spec({"kind": "kernel", "size": "tiny", "seed": 0})
+        with pytest.raises(QueueFullError):
+            service.submit_body([
+                {"kind": "kernel", "size": "tiny", "seed": 1},
+                {"kind": "kernel", "size": "tiny", "seed": 2},
+            ])
+        # The rejected batch left nothing behind — not even its first job.
+        assert len(service.jobs()) == 1
+        assert service.metrics()["queue"]["depth"] == 1
+
+    def test_invalid_spec_rejects_whole_batch_before_queueing(self):
+        service = JobService(workers=1)
+        with pytest.raises(ValueError, match="unknown job kind"):
+            service.submit_body([
+                {"kind": "kernel", "size": "tiny", "seed": 0},
+                {"kind": "bogus"},
+            ])
+        assert service.jobs() == []
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            JobService(workers=0)
+        with pytest.raises(ValueError, match="queue_limit"):
+            JobService(queue_limit=0)
+        with pytest.raises(ValueError, match="schedule"):
+            JobService(schedules=[{"no": "jobs"}])
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobService(schedules=[{"jobs": [{"kind": "bogus"}]}])
+
+
+class TestTick:
+    def test_tick_enqueues_due_schedules_only(self):
+        service = JobService(workers=1, queue_limit=8, schedules=[
+            {"name": "everytick",
+             "jobs": [{"kind": "kernel", "size": "tiny", "seed": 7}]},
+            {"name": "everyother", "every": 2,
+             "jobs": [{"kind": "kernel", "size": "tiny", "seed": 8}]},
+        ])
+        first = service.tick()
+        assert first["tick"] == 1
+        assert len(first["enqueued"]) == 1  # only the every-tick schedule
+        second = service.tick()
+        assert len(second["enqueued"]) == 2
+        sources = [record.source for record in service.jobs()]
+        assert sources == ["tick:everytick", "tick:everytick",
+                           "tick:everyother"]
+
+    def test_tick_reports_queue_rejections(self):
+        service = JobService(workers=1, queue_limit=1, schedules=[
+            {"name": "wide",
+             "jobs": [{"kind": "kernel", "size": "tiny", "seed": 7},
+                      {"kind": "kernel", "size": "tiny", "seed": 8}]},
+        ])
+        outcome = service.tick()
+        assert len(outcome["enqueued"]) == 1
+        assert len(outcome["rejected"]) == 1
+        assert "wide" in outcome["rejected"][0]
+
+
+class TestHttpServer:
+    """One end-to-end pass over a real socket."""
+
+    @pytest.fixture()
+    def endpoint(self, tmp_path):
+        service = JobService(workers=1, queue_limit=4,
+                             cache=str(tmp_path / "cache")).start()
+        server = create_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+    @staticmethod
+    def _call(base, method, path, body=None):
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(base + path, data=data,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_submit_poll_and_metrics_over_http(self, endpoint):
+        status, reply = self._call(endpoint, "POST", "/jobs",
+                                   {"kind": "kernel", "size": "tiny",
+                                    "seed": 21})
+        assert status == 202 and reply["accepted"] == 1
+        job_id = reply["jobs"][0]["id"]
+
+        deadline = time.monotonic() + 90
+        while True:
+            status, job = self._call(endpoint, "GET", f"/jobs/{job_id}")
+            assert status == 200
+            if job["state"] in ("done", "failed"):
+                break
+            assert time.monotonic() < deadline, f"job stuck: {job}"
+            time.sleep(0.05)
+        assert job["state"] == "done", job["error"]
+        assert job["record"]["fingerprint_digest"]
+        assert job["spec"] == {"kind": "kernel", "size": "tiny",
+                               "seed": 21, "kernel": "production"}
+
+        status, listing = self._call(endpoint, "GET", "/jobs")
+        assert status == 200
+        assert [item["id"] for item in listing["jobs"]] == [job_id]
+
+        status, metrics = self._call(endpoint, "GET", "/metrics")
+        assert status == 200
+        assert metrics["jobs"]["by_state"]["done"] == 1
+
+    def test_http_error_statuses(self, endpoint):
+        status, reply = self._call(endpoint, "POST", "/jobs",
+                                   {"kind": "bogus"})
+        assert status == 400 and "unknown job kind" in reply["error"]
+        status, reply = self._call(endpoint, "POST", "/jobs", [])
+        assert status == 400
+        status, reply = self._call(endpoint, "GET", "/nope")
+        assert status == 404
+        status, reply = self._call(endpoint, "GET", "/jobs/job-000099")
+        assert status == 404
+        status, reply = self._call(endpoint, "GET",
+                                   "/jobs/job-000099/artifacts")
+        assert status == 404

@@ -1,6 +1,7 @@
-"""The content-addressed artefact cache: hit/miss, corruption safety."""
+"""The content-addressed artefact cache: hit/miss, corruption, concurrency."""
 
 import json
+import multiprocessing
 import os
 
 from repro.sweep.cache import ArtifactCache
@@ -90,3 +91,85 @@ class TestArtifactCache:
         leftovers = [name for _, _, files in os.walk(tmp_path)
                      for name in files if name.endswith(".tmp")]
         assert leftovers == []
+
+    def test_invalidation_spares_a_concurrently_replaced_entry(self, tmp_path):
+        """A reader that judged a corrupt inode must not delete its successor.
+
+        Interleaving: reader opens the (corrupt) entry and fails the parse;
+        before it gets to unlink, a concurrent writer ``put``-s a fresh,
+        valid entry over the same path (``os.replace`` → new inode).  The
+        inode-guarded invalidation must notice the swap and keep the fresh
+        entry readable.
+        """
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for(SPEC)
+        cache.put(key, PAYLOAD)
+        path = cache._path(key)
+        with open(path, "w") as handle:
+            handle.write("{ corrupt")
+        status = os.stat(path)
+        stamp = (status.st_dev, status.st_ino)  # what the failed read saw
+        ArtifactCache(tmp_path).put(key, PAYLOAD)  # concurrent fresh write
+        cache._invalidate(path, stamp)
+        assert ArtifactCache(tmp_path).get(key) == PAYLOAD
+
+    def test_unguarded_invalidation_still_deletes(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for(SPEC)
+        cache.put(key, PAYLOAD)
+        cache._invalidate(cache._path(key))
+        assert not os.path.exists(cache._path(key))
+
+
+# ---------------------------------------------------------------------------
+# Multi-process stress: the threaded/process-pooled server hammers one cache
+# directory from many writers and readers at once.
+
+_KEYS = 3
+
+
+def _stress_payload(index):
+    return {"v": index, "blob": "x" * 512 * (index + 1)}
+
+
+def _stress_worker(root, worker, rounds, failures):
+    cache = ArtifactCache(root)
+    problems = []
+    for step in range(rounds):
+        index = (worker + step) % _KEYS
+        key = ArtifactCache.key_for({"stress": index})
+        try:
+            if step % 3 == 0:
+                cache.put(key, _stress_payload(index))
+            got = cache.get(key)
+            if got is not None and got != _stress_payload(index):
+                problems.append(f"worker {worker} step {step}: wrong payload")
+        except Exception as exc:  # noqa: BLE001 — any leak is the failure
+            problems.append(f"worker {worker} step {step}: {exc!r}")
+    failures.extend(problems)
+
+
+class TestArtifactCacheConcurrency:
+    def test_multiprocess_same_key_put_get_stress(self, tmp_path):
+        """Concurrent same-key puts/gets: never an exception, never a torn
+        or foreign payload, and every entry is valid once the dust settles.
+        """
+        context = multiprocessing.get_context("fork")
+        with multiprocessing.Manager() as manager:
+            failures = manager.list()
+            workers = [
+                context.Process(target=_stress_worker,
+                                args=(str(tmp_path), worker, 150, failures))
+                for worker in range(4)
+            ]
+            for process in workers:
+                process.start()
+            for process in workers:
+                process.join(timeout=120)
+            assert all(process.exitcode == 0 for process in workers)
+            assert list(failures) == []
+        cache = ArtifactCache(tmp_path)
+        for index in range(_KEYS):
+            key = ArtifactCache.key_for({"stress": index})
+            assert cache.get(key) == _stress_payload(index)
+        assert cache.stats["invalidated"] == 0

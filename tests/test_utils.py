@@ -1,4 +1,8 @@
-"""Unit tests of repro.utils: errors, identifiers, text helpers."""
+"""Unit tests of repro.utils: errors, identifiers, text, worker pool."""
+
+import os
+import signal
+import time
 
 import pytest
 
@@ -11,6 +15,7 @@ from repro.utils.errors import (
     ViewError,
 )
 from repro.utils.ids import check_identifier, unique_name
+from repro.utils.pool import PoolError, WorkerPool
 from repro.utils.text import format_table, indent_block
 
 
@@ -114,3 +119,63 @@ class TestText:
         table = format_table(["k", "v"], [("x", None), ("y", 3.5)])
         assert "None" in table
         assert "3.5" in table
+
+
+def _double(value):
+    return value * 2
+
+
+def _die_on_seven(value):
+    if value == 7:
+        os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(0.01)
+    return value * 2
+
+
+class TestWorkerPool:
+    def test_map_preserves_order(self):
+        with WorkerPool(2) as pool:
+            assert pool.map(_double, range(8)) == [v * 2 for v in range(8)]
+
+    def test_map_of_nothing_is_empty(self):
+        with WorkerPool(2) as pool:
+            assert pool.map(_double, []) == []
+
+    def test_pool_error_derives_from_repro_error(self):
+        assert issubclass(PoolError, ReproError)
+
+    def test_dead_worker_raises_pool_error_naming_the_item(self):
+        """An OOM-killed/crashed worker must not hang the batch.
+
+        Without detection this is an infinite wait: ``multiprocessing``
+        replaces the dead process but the task it carried is lost, so
+        ``Pool.map`` never returns.  The pool must notice the PID
+        disappearing and fail the batch with the first unfinished index.
+        """
+        start = time.monotonic()
+        with WorkerPool(2) as pool:
+            with pytest.raises(PoolError) as info:
+                pool.map(_die_on_seven, range(16), chunksize=1)
+        assert time.monotonic() - start < 30
+        assert info.value.item_index is not None
+        assert 0 <= info.value.item_index < 16
+        assert f"item {info.value.item_index} of 16" in str(info.value)
+
+    def test_broken_pool_refuses_further_maps(self):
+        pool = WorkerPool(2)
+        try:
+            with pytest.raises(PoolError):
+                pool.map(_die_on_seven, range(16), chunksize=1)
+            with pytest.raises(PoolError, match="broken"):
+                pool.map(_double, range(4))
+        finally:
+            pool.close()
+
+    def test_exceptional_context_exit_terminates_promptly(self):
+        """Unwinding an exception through the pool must not join-hang."""
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="unrelated"):
+            with WorkerPool(2) as pool:
+                pool.map(_double, range(4))
+                raise RuntimeError("unrelated failure mid-batch")
+        assert time.monotonic() - start < 30

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-kernel bench-quick bench-seed bench-cosim bench-cosim-seed bench-cosim-quick bench-cosim-check conformance conformance-quick conformance-coverage dse dse-quick sweep sweep-quick server server-smoke quickstart
+.PHONY: test bench bench-kernel bench-quick bench-seed bench-cosim bench-cosim-seed bench-cosim-quick bench-cosim-check conformance conformance-quick conformance-coverage dse dse-quick sweep sweep-quick server server-smoke obs-smoke quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -86,6 +86,12 @@ server:
 # served from cache and scrape /metrics (also run by CI).
 server-smoke:
 	$(PYTHON) -m repro.server --selfcheck
+
+# Telemetry smoke: instrumented sweep, then validate the Chrome
+# trace-event export and the Prometheus exposition plus the disabled
+# no-op path (also run by CI).
+obs-smoke:
+	$(PYTHON) -m repro.obs selfcheck --quick
 
 quickstart:
 	$(PYTHON) examples/quickstart.py

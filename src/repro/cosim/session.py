@@ -28,6 +28,7 @@ from repro.core.module import HardwareModule, SoftwareModule
 from repro.core.validation import validate_model
 from repro.desim import Timeout, WaveformRecorder, create_simulator
 from repro.ir.interp import DEFAULT_FSM_MODE, FSM_MODES, FsmInstance
+from repro.obs import TELEMETRY
 from repro.utils.errors import SimulationError
 
 
@@ -73,6 +74,9 @@ class CosimResult:
             "hw_cycles": self.hw_cycles,
             "monitors_ok": self.all_monitors_ok,
             "fsm": dict(self.fsm_counters),
+            # Per-service latency distributions (simulated ns): count, mean,
+            # p50/p95/max — the mean alone hides a saturated channel's tail.
+            "services": self.trace.latency_summary(),
         }
 
     def __repr__(self):
@@ -116,6 +120,7 @@ class CosimSession:
         self.fault_injectors = {}
         self._environment_hooks = []
         self._built = False
+        self._obs_prev = None
 
     # ------------------------------------------------------------------ build
 
@@ -160,6 +165,11 @@ class CosimSession:
         """Construct signals, processes and executors.  Idempotent."""
         if self._built:
             return self
+        with TELEMETRY.span("cosim.build", cat="cosim",
+                            system=self.model.name, kernel=self.kernel):
+            return self._do_build()
+
+    def _do_build(self):
         self.clock = self.simulator.add_clock("hwclk", period=self.clock_period)
         self._build_unit_signals()
         self._build_controllers()
@@ -269,8 +279,13 @@ class CosimSession:
     def run(self, until=None, max_time=None):
         """Build if needed, run the simulation and return a :class:`CosimResult`."""
         self.build()
-        end_time = self.simulator.run(until=until, max_time=max_time)
-        return CosimResult(self, end_time)
+        with TELEMETRY.span("cosim.run", cat="cosim", system=self.model.name,
+                            kernel=self.kernel, fsm_mode=self.fsm_mode):
+            end_time = self.simulator.run(until=until, max_time=max_time)
+        result = CosimResult(self, end_time)
+        if TELEMETRY.enabled:
+            self._obs_record(result)
+        return result
 
     def run_until_software_done(self, max_time=10_000_000, check_every=10_000):
         """Run until every software module finished (or *max_time* is hit).
@@ -282,18 +297,68 @@ class CosimSession:
         time — and thus the whole result — identical.
         """
         self.build()
-        while self.simulator.now < max_time:
-            target = min(
-                ((self.simulator.now // check_every) + 1) * check_every,
-                max_time,
-            )
-            self.simulator.run(until=target)
-            if all(executor.finished for executor in self.sw_executors.values()):
-                break
-            if self.simulator.now < target:
-                # No more activity is scheduled: nothing will ever finish.
-                break
-        return CosimResult(self, self.simulator.now)
+        with TELEMETRY.span("cosim.run_until_software_done", cat="cosim",
+                            system=self.model.name, kernel=self.kernel,
+                            fsm_mode=self.fsm_mode):
+            while self.simulator.now < max_time:
+                target = min(
+                    ((self.simulator.now // check_every) + 1) * check_every,
+                    max_time,
+                )
+                self.simulator.run(until=target)
+                if all(executor.finished
+                       for executor in self.sw_executors.values()):
+                    break
+                if self.simulator.now < target:
+                    # No more activity is scheduled: nothing will finish.
+                    break
+        result = CosimResult(self, self.simulator.now)
+        if TELEMETRY.enabled:
+            self._obs_record(result)
+        return result
+
+    def _obs_record(self, result):
+        """Flush run-over-run counter deltas into the telemetry registry.
+
+        Sessions may be run repeatedly (checkpoint replay, incremental
+        ``run(until=...)`` calls), so absolute counters are diffed against
+        the previous flush — each simulated event is counted exactly once
+        no matter how the run was sliced.
+        """
+        labels = {"kernel": self.kernel, "fsm_mode": self.fsm_mode}
+        metrics = TELEMETRY.metrics
+        fsm = self.fsm_counters()
+        current = {
+            "compiled": fsm["compile_hits"],
+            "interpreted": fsm["fallback"],
+            "transitions": fsm["transitions_fired"],
+            "services": len(self.trace),
+            "channels": self.trace.count(),
+        }
+        prev = self._obs_prev or {key: 0 for key in current}
+        self._obs_prev = current
+        metrics.counter("repro_cosim_runs_total", labels=labels,
+                        help="Completed CosimSession runs.").inc()
+        steps = metrics.counter
+        for tier in ("compiled", "interpreted"):
+            delta = current[tier] - prev[tier]
+            if delta:
+                steps("repro_cosim_fsm_steps_total",
+                      labels=dict(labels, tier=tier),
+                      help="FSM steps split by execution tier.").inc(delta)
+        delta = current["transitions"] - prev["transitions"]
+        if delta:
+            steps("repro_cosim_fsm_transitions_total", labels=labels,
+                  help="FSM transitions fired.").inc(delta)
+        delta = current["services"] - prev["services"]
+        if delta:
+            steps("repro_cosim_service_calls_total", labels=labels,
+                  help="Service invocations traced (incl. pending).",
+                  ).inc(delta)
+        delta = current["channels"] - prev["channels"]
+        if delta:
+            steps("repro_cosim_channel_transactions_total", labels=labels,
+                  help="Completed channel/service transactions.").inc(delta)
 
     # ---------------------------------------------------------- save / resume
 

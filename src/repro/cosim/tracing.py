@@ -7,7 +7,15 @@ travelled — enough to regenerate the Figure 5 interaction picture and to
 compute per-service latency statistics for the protocol ablation.
 """
 
+import math
+
 from repro.utils.text import format_table
+
+
+def _percentile(sorted_values, quantile):
+    """Nearest-rank percentile of a pre-sorted non-empty sequence."""
+    rank = max(1, math.ceil(quantile * len(sorted_values)))
+    return sorted_values[rank - 1]
 
 
 class ServiceCallRecord:
@@ -107,6 +115,32 @@ class ServiceCallTrace:
         if not records:
             return None
         return sum(record.latency for record in records) / len(records)
+
+    def latency_stats(self, service=None, caller=None):
+        """Latency distribution of completed invocations (simulated ns).
+
+        Returns ``{"count", "mean", "p50", "p95", "max"}`` — the mean alone
+        hides a slow tail (one saturated channel among many fast ones), so
+        the percentiles travel everywhere the mean used to.  ``None`` when
+        nothing completed.  Percentiles use the nearest-rank method on the
+        sorted latencies, so they are exact observed values.
+        """
+        latencies = sorted(record.latency
+                           for record in self.completed(caller, service))
+        if not latencies:
+            return None
+        return {
+            "count": len(latencies),
+            "mean": sum(latencies) / len(latencies),
+            "p50": _percentile(latencies, 0.50),
+            "p95": _percentile(latencies, 0.95),
+            "max": latencies[-1],
+        }
+
+    def latency_summary(self):
+        """Per-service :meth:`latency_stats`, keyed by service name."""
+        return {service: self.latency_stats(service=service)
+                for service in self.services_seen()}
 
     # ----------------------------------------------------------- state access
 

@@ -41,12 +41,83 @@ bounded waits on a quiet signal cannot accumulate unbounded garbage.  See
 
 import heapq
 import itertools
+import time
 
 from repro.desim.events import Delta, SignalChange, Timeout
 from repro.desim.process import Process
 from repro.desim.signal import ForceValue, ReleaseValue, Signal
 from repro.desim.simtime import check_delay, format_time
+from repro.obs import DEPTH_BUCKETS, TELEMETRY
 from repro.utils.errors import SimulationError
+
+
+class _KernelObs:
+    """Instruments cached for one telemetry-enabled :meth:`Simulator.run`.
+
+    Bound once per ``run()`` call (:meth:`Simulator._obs_bind`), so the
+    instrumented delta loop increments plain attributes instead of doing
+    registry lookups per delta cycle.  ``profile`` accumulates per-process
+    ``[runs, seconds]`` locally and is flushed into labelled counters when
+    the run returns — both kernels report under the same counter names,
+    distinguished only by the ``kernel`` label.
+    """
+
+    __slots__ = ("registry", "labels", "update_s", "wake_s", "run_s",
+                 "delta_depth", "timeout_depth", "totals", "profile")
+
+    #: statistics key -> exported counter name (identical across kernels).
+    STAT_COUNTERS = {
+        "delta_cycles": "repro_kernel_delta_cycles_total",
+        "process_runs": "repro_kernel_process_runs_total",
+        "transactions": "repro_kernel_transactions_total",
+        "time_points": "repro_kernel_time_points_total",
+        "timeouts": "repro_kernel_timeouts_total",
+    }
+
+    def __init__(self, registry, kernel_name):
+        self.registry = registry
+        self.labels = {"kernel": kernel_name}
+        phase_help = "Wall-clock seconds spent per kernel phase"
+        self.update_s = registry.counter(
+            "repro_kernel_phase_seconds_total",
+            labels={**self.labels, "phase": "update"}, help=phase_help)
+        self.wake_s = registry.counter(
+            "repro_kernel_phase_seconds_total",
+            labels={**self.labels, "phase": "wake"}, help=phase_help)
+        self.run_s = registry.counter(
+            "repro_kernel_phase_seconds_total",
+            labels={**self.labels, "phase": "run"}, help=phase_help)
+        self.delta_depth = registry.histogram(
+            "repro_kernel_delta_queue_depth", buckets=DEPTH_BUCKETS,
+            labels=self.labels,
+            help="Pending zero-delay transactions per delta cycle")
+        self.timeout_depth = registry.histogram(
+            "repro_kernel_timeout_heap_depth", buckets=DEPTH_BUCKETS,
+            labels=self.labels,
+            help="Suspended deadline waits per delta cycle")
+        self.totals = {
+            key: registry.counter(name, labels=self.labels,
+                                  help=f"Kernel statistics: {key}")
+            for key, name in self.STAT_COUNTERS.items()
+        }
+        self.profile = {}  # process name -> [runs, seconds]
+
+    def flush(self, statistics, stats_before):
+        """Export the run's statistics deltas and per-process profile."""
+        for key, counter in self.totals.items():
+            counter.inc(statistics[key] - stats_before[key])
+        for name, (runs, seconds) in self.profile.items():
+            self.registry.counter(
+                "repro_kernel_process_seconds_total",
+                labels={**self.labels, "process": name},
+                help="Wall-clock seconds spent running each process",
+            ).inc(seconds)
+            self.registry.counter(
+                "repro_kernel_process_profile_runs_total",
+                labels={**self.labels, "process": name},
+                help="Process runs observed by the wall-clock profiler",
+            ).inc(runs)
+        self.profile.clear()
 
 
 class _GenWait:
@@ -126,11 +197,18 @@ class Simulator:
         self._next_time_dirty = True
         self._started = False
         self._in_run = False
+        # Telemetry binding for the current run (None = disabled fast path).
+        self._obs = None
+        # The counter set is part of the kernel's observable contract: both
+        # kernels expose the same keys with the same meanings ("timeouts"
+        # counts matured deadline wakes), so differential runs can compare
+        # activity profiles, not just results.
         self.statistics = {
             "delta_cycles": 0,
             "process_runs": 0,
             "transactions": 0,
             "time_points": 0,
+            "timeouts": 0,
         }
 
     # ------------------------------------------------------------------ setup
@@ -277,6 +355,8 @@ class Simulator:
         """
         if until is None:
             until = max_time
+        obs = self._obs_bind()
+        stats_before = dict(self.statistics) if obs is not None else None
         if not self._started:
             self._start()
         self._in_run = True
@@ -296,6 +376,8 @@ class Simulator:
                     break
         finally:
             self._in_run = False
+            if obs is not None:
+                obs.flush(self.statistics, stats_before)
         return self.now
 
     def run_for(self, duration):
@@ -370,6 +452,7 @@ class Simulator:
             self._wake(wait)
             expired.append(wait.process)
         if expired:
+            self.statistics["timeouts"] += len(expired)
             self._next_time_dirty = True
         return expired
 
@@ -399,7 +482,28 @@ class Simulator:
             else:
                 self._waiter_stale[key] = stale
 
+    # ------------------------------------------------------------- telemetry
+
+    def _obs_bind(self):
+        """(Re)bind cached telemetry instruments for the next run.
+
+        The disabled fast path is this one attribute check: with telemetry
+        off, ``self._obs`` stays ``None`` and every instrumented loop
+        dispatches straight to its uninstrumented twin.
+        """
+        if not TELEMETRY.enabled:
+            self._obs = None
+        elif self._obs is None:
+            self._obs = _KernelObs(TELEMETRY.metrics, self.kernel_name)
+        return self._obs
+
+    def _obs_timeout_depth(self):
+        """Current deadline-index population (for the depth histogram)."""
+        return len(self._timeout_heap)
+
     def _drain_deltas(self):
+        if self._obs is not None:
+            return self._drain_deltas_obs(self._obs)
         self.delta = 0
         statistics = self.statistics
         while True:
@@ -411,6 +515,51 @@ class Simulator:
             if not changed and not runnable and not self._delta_queue:
                 break
             self._run_processes(runnable)
+            for signal in changed:
+                signal.clear_event()
+            if self.monitors:
+                self._check_monitors()
+            self.delta += 1
+            statistics["delta_cycles"] += 1
+            if self.delta > self.max_deltas:
+                raise SimulationError(
+                    f"delta-cycle limit exceeded at {format_time(self.now)}; "
+                    "combinational loop or zero-delay oscillation"
+                )
+
+    def _drain_deltas_obs(self, obs):
+        """The delta loop with wall-clock phase timing and depth sampling.
+
+        A timed twin of :meth:`_drain_deltas` — same phase calls in the
+        same order, with ``perf_counter`` brackets around the update phase,
+        the wake scan (runnable collection + deadline expiry) and the
+        process-execution phase, plus one depth observation per delta.
+        Keeping the uninstrumented loop untouched is the point: telemetry
+        off costs one ``is not None`` check per drain.  The conformance
+        sweep runs with telemetry enabled to pin that both loops produce
+        identical simulations.
+        """
+        self.delta = 0
+        statistics = self.statistics
+        perf = time.perf_counter
+        while True:
+            obs.delta_depth.observe(len(self._delta_queue))
+            obs.timeout_depth.observe(self._obs_timeout_depth())
+            begin = perf()
+            changed = self._update_phase()
+            updated = perf()
+            runnable = self._collect_runnable(changed)
+            expired = self._expired_waits()
+            if expired:
+                runnable.extend(expired)
+            woken = perf()
+            obs.update_s.inc(updated - begin)
+            obs.wake_s.inc(woken - updated)
+            if not changed and not runnable and not self._delta_queue:
+                break
+            ran_at = perf()
+            self._run_processes_obs(runnable, obs.profile)
+            obs.run_s.inc(perf() - ran_at)
             for signal in changed:
                 signal.clear_event()
             if self.monitors:
@@ -522,6 +671,38 @@ class Simulator:
             else:
                 process.run_count += 1
                 process.func()
+        self.statistics["process_runs"] += runs
+
+    def _run_processes_obs(self, runnable, profile):
+        """Timed twin of :meth:`_run_processes`: per-process wall seconds.
+
+        *profile* maps process name to ``[runs, seconds]``; it lives on the
+        bound :class:`_KernelObs` and is flushed into labelled counters
+        when ``run()`` returns, so the hot-spot accounting costs two dict
+        operations per process run while live.
+        """
+        if not runnable:
+            return
+        runs = 0
+        suspend = self._suspend
+        perf = time.perf_counter
+        for process in runnable:
+            if process.finished:
+                continue
+            runs += 1
+            begin = perf()
+            if process.is_generator:
+                condition = process.step()
+                if not process.finished:
+                    suspend(process, condition)
+            else:
+                process.run_count += 1
+                process.func()
+            entry = profile.get(process.name)
+            if entry is None:
+                profile[process.name] = entry = [0, 0.0]
+            entry[0] += 1
+            entry[1] += perf() - begin
         self.statistics["process_runs"] += runs
 
     def _suspend(self, process, condition):

@@ -150,11 +150,26 @@ class ReferenceSimulator(Simulator):
         for wait in due:
             wait.woken = True
         if due:
+            # Same "timeouts" statistic as the production kernel: matured
+            # deadline wakes, so differential runs compare activity
+            # profiles counter-for-counter.
+            self.statistics["timeouts"] += len(due)
             self._compact_waits()
         return [wait.process for wait in due]
 
     def _compact_waits(self):
         self._ref_waits = [wait for wait in self._ref_waits if not wait.woken]
+
+    def _obs_timeout_depth(self):
+        """Deadline-index population: live waits carrying a deadline.
+
+        The reference kernel has no timeout heap; the comparable quantity
+        (exported under the same ``repro_kernel_timeout_heap_depth`` name,
+        ``kernel="reference"`` label) is the number of suspended waits a
+        deadline could wake.
+        """
+        return sum(1 for wait in self._ref_waits
+                   if not wait.woken and wait.resume_at is not None)
 
     def _suspend(self, process, condition):
         if condition is None:

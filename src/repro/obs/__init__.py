@@ -1,0 +1,185 @@
+"""Unified process-wide telemetry: metrics, spans, exports.
+
+Every runtime layer of the project — the delta-cycle kernels, the
+co-simulation session, the sweep service and worker pool, the HTTP job
+service — reports into the one :data:`TELEMETRY` object defined here.  It
+bundles a :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+fixed-bucket histograms) and a :class:`~repro.obs.trace.SpanTracer`
+(wall-clock spans in a bounded ring buffer, exportable as Chrome
+trace-event JSON).
+
+**The disabled fast path is the contract.**  Telemetry is off by default;
+every instrumentation site in the project guards itself with one
+attribute check (``if TELEMETRY.enabled:`` — or a cached binding of it)
+and :func:`span` returns one shared no-op context manager, so a
+telemetry-off run allocates no spans and pays nothing measurable (the
+cosim benchmark gate pins this).  Enabling costs real wall-clock work by
+design — that is what profiling is — but must never change *simulated*
+results: the full conformance sweep runs with telemetry enabled to pin
+that invariant.
+
+Activation:
+
+* programmatically — ``TELEMETRY.enable()`` / ``TELEMETRY.disable()``;
+* from the environment — ``REPRO_OBS=1`` enables at import, which is how
+  batch CLIs (``python -m repro.testkit``, ``make conformance``) run
+  instrumented without growing flags;
+* artefacts — :meth:`Telemetry.export` snapshots metrics + trace into one
+  JSON-able dict that ``python -m repro.obs`` summarises, converts
+  (Chrome trace / Prometheus) and diffs.
+
+See ``docs/observability.md`` for the instrument catalog.
+"""
+
+import json
+import os
+import threading
+
+from repro.obs.metrics import (
+    DEPTH_BUCKETS,
+    DURATION_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus,
+    prometheus_line,
+)
+from repro.obs.trace import (
+    DEFAULT_SPAN_LIMIT,
+    SpanTracer,
+    chrome_trace,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "TELEMETRY", "Telemetry", "NOOP_SPAN", "span", "enabled",
+    "MetricsRegistry", "SpanTracer", "chrome_trace", "validate_chrome_trace",
+    "parse_prometheus", "prometheus_line",
+    "DURATION_BUCKETS", "DEPTH_BUCKETS", "DEFAULT_SPAN_LIMIT",
+    "ARTIFACT_FORMAT", "load_artifact",
+]
+
+#: Telemetry artefact schema version (the dict ``Telemetry.export`` emits).
+ARTIFACT_FORMAT = 1
+
+
+class _NoopSpan:
+    """The shared do-nothing span; one instance serves every disabled site."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Telemetry:
+    """One registry + one tracer + the enabled flag; see the module doc."""
+
+    def __init__(self, span_limit=DEFAULT_SPAN_LIMIT):
+        self.enabled = False
+        self.metrics = MetricsRegistry()
+        self.tracer = SpanTracer(limit=span_limit)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def enable(self, span_limit=None):
+        """Turn instrumentation on (idempotent); returns self.
+
+        *span_limit* resizes the tracer's ring buffer; existing spans are
+        kept (up to the new limit).
+        """
+        with self._lock:
+            if span_limit is not None and span_limit != self.tracer.limit:
+                old = self.tracer
+                self.tracer = SpanTracer(limit=span_limit)
+                self.tracer.epoch = old.epoch
+                self.tracer.started = old.started
+                self.tracer.finished = old.finished
+                for entry in old.spans():
+                    self.tracer._spans.append(entry)
+            self.enabled = True
+        return self
+
+    def disable(self):
+        """Turn instrumentation off; accumulated data stays readable."""
+        self.enabled = False
+        return self
+
+    def reset(self):
+        """Drop all accumulated metrics and spans (enabled flag unchanged)."""
+        self.metrics.reset()
+        self.tracer.reset()
+        return self
+
+    # ----------------------------------------------------------------- spans
+
+    def span(self, name, cat="repro", **args):
+        """A timed region; the shared no-op when telemetry is disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return self.tracer.span(name, cat, **args)
+
+    # ------------------------------------------------------------- artefacts
+
+    def export(self):
+        """The full telemetry state as one JSON-able artefact dict."""
+        return {
+            "format": ARTIFACT_FORMAT,
+            "enabled": self.enabled,
+            "metrics": self.metrics.as_dict(),
+            "trace": self.tracer.as_dict(),
+        }
+
+    def write(self, path):
+        """Write :meth:`export` to *path* as deterministic JSON."""
+        artifact = self.export()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return artifact
+
+    def __repr__(self):
+        return (f"Telemetry(enabled={self.enabled}, "
+                f"spans={len(self.tracer)}, "
+                f"families={len(self.metrics.as_dict()['families'])})")
+
+
+def load_artifact(path):
+    """Read and format-check a telemetry artefact written by ``write``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    if not isinstance(artifact, dict) \
+            or artifact.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path}: not a telemetry artefact "
+            f"(format {artifact.get('format') if isinstance(artifact, dict) else '?'!r}, "
+            f"expected {ARTIFACT_FORMAT})"
+        )
+    for key in ("metrics", "trace"):
+        if key not in artifact:
+            raise ValueError(f"{path}: artefact is missing {key!r}")
+    return artifact
+
+
+#: The process-wide telemetry instance every instrumentation site uses.
+TELEMETRY = Telemetry()
+
+if os.environ.get("REPRO_OBS", "") not in ("", "0"):
+    TELEMETRY.enable()
+
+
+def enabled():
+    """True when instrumentation is on."""
+    return TELEMETRY.enabled
+
+
+def span(name, cat="repro", **args):
+    """Module-level convenience for :meth:`Telemetry.span`."""
+    if not TELEMETRY.enabled:
+        return NOOP_SPAN
+    return TELEMETRY.tracer.span(name, cat, **args)

@@ -1,0 +1,387 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the numeric half of :mod:`repro.obs` (spans are the other
+half, in :mod:`repro.obs.trace`).  Instruments are *named families* with
+optional labels; asking for the same ``(name, labels)`` twice returns the
+same instrument object, so call sites may either look instruments up per
+event or — on hot paths — bind them once and increment a cached object.
+
+Design rules, in the order they matter:
+
+* **Cheap increments.**  ``Counter.inc`` / ``Gauge.set`` /
+  ``Histogram.observe`` take no locks; under CPython's GIL a lost update
+  between racing threads skews a telemetry number by one event at worst,
+  which is an acceptable price for not serialising the hot path.  Family
+  *creation* is locked, so the registry structure itself is always
+  consistent (the property the concurrent ``/metrics`` tests pin).
+* **Fixed buckets.**  Histograms take their bucket bounds at creation and
+  never rebalance; two runs of the same workload therefore produce
+  comparable distributions, and the Prometheus exposition is cumulative
+  over a stable ``le`` set.
+* **Deterministic rendering.**  :meth:`MetricsRegistry.as_dict` and
+  :meth:`MetricsRegistry.to_prometheus` order families by name and series
+  by label value, so equal registries serialise byte-identically — the
+  same canonical-output rule every other artefact in this project obeys.
+
+:func:`parse_prometheus` is the line-by-line validator used by the CI
+``obs-smoke`` job and the tests: it accepts exactly the exposition this
+module (and :meth:`repro.server.service.JobService.prometheus_metrics`)
+emits.
+"""
+
+import math
+import threading
+from bisect import bisect_left
+
+#: Default histogram buckets for durations in seconds (5 us .. 30 s).
+DURATION_BUCKETS = (
+    0.000005, 0.00002, 0.0001, 0.0005, 0.002, 0.01, 0.05,
+    0.2, 1.0, 5.0, 30.0,
+)
+
+#: Default buckets for queue/heap depths and other small counts.
+DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096)
+
+
+class Counter:
+    """Monotonically increasing value (events, seconds spent)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, busy workers)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def dec(self, amount=1):
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket distribution; tracks per-bucket counts, sum and count.
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; the final slot
+    counts the overflow (the Prometheus ``+Inf`` bucket).  Counts are
+    stored *per bucket*, not cumulatively — the exposition accumulates.
+    """
+
+    __slots__ = ("buckets", "counts", "total", "sum")
+
+    def __init__(self, buckets):
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value):
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += 1
+        self.sum += value
+
+
+#: Instrument type name -> class (the registry's vocabulary).
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _label_key(labels):
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Family:
+    """All series of one instrument name: type, help text, label children."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "series")
+
+    def __init__(self, name, kind, help_text, buckets=None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.series = {}  # label-key tuple -> instrument
+
+
+class MetricsRegistry:
+    """Named, optionally labelled instruments; see the module doc."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families = {}
+
+    # ----------------------------------------------------------- instruments
+
+    def _instrument(self, kind, name, labels, help_text, buckets=None):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, buckets=buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"instrument {name!r} already registered as "
+                    f"{family.kind}, not {kind}"
+                )
+            instrument = family.series.get(key)
+            if instrument is None:
+                if kind == "histogram":
+                    instrument = Histogram(family.buckets)
+                else:
+                    instrument = _KINDS[kind]()
+                family.series[key] = instrument
+            return instrument
+
+    def counter(self, name, labels=None, help=""):
+        """The :class:`Counter` for ``(name, labels)``, created on demand."""
+        return self._instrument("counter", name, labels, help)
+
+    def gauge(self, name, labels=None, help=""):
+        """The :class:`Gauge` for ``(name, labels)``, created on demand."""
+        return self._instrument("gauge", name, labels, help)
+
+    def histogram(self, name, buckets=DURATION_BUCKETS, labels=None, help=""):
+        """The :class:`Histogram` for ``(name, labels)``.
+
+        *buckets* is fixed by the first call for the whole family; later
+        calls reuse the family's bounds.
+        """
+        return self._instrument("histogram", name, labels, help,
+                                buckets=tuple(buckets))
+
+    def reset(self):
+        """Drop every family (tests and ``Telemetry.reset``)."""
+        with self._lock:
+            self._families.clear()
+
+    # ------------------------------------------------------------- snapshots
+
+    def as_dict(self):
+        """Deterministic JSON-able snapshot of every family and series."""
+        families = []
+        with self._lock:
+            items = sorted(self._families.items())
+        for name, family in items:
+            series = []
+            for key in sorted(family.series):
+                instrument = family.series[key]
+                entry = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    entry.update({
+                        "counts": list(instrument.counts),
+                        "count": instrument.total,
+                        "sum": instrument.sum,
+                    })
+                else:
+                    entry["value"] = instrument.value
+                series.append(entry)
+            families.append({
+                "name": name,
+                "type": family.kind,
+                "help": family.help,
+                **({"buckets": list(family.buckets)}
+                   if family.kind == "histogram" else {}),
+                "series": series,
+            })
+        return {"families": families}
+
+    def to_prometheus(self):
+        """Render the registry in Prometheus text exposition format."""
+        lines = []
+        snapshot = self.as_dict()
+        for family in snapshot["families"]:
+            name = family["name"]
+            if family["help"]:
+                lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {family['type']}")
+            for entry in family["series"]:
+                labels = entry["labels"]
+                if family["type"] == "histogram":
+                    cumulative = 0
+                    bounds = [_format_value(b) for b in family["buckets"]]
+                    for bound, count in zip(bounds + ["+Inf"],
+                                            entry["counts"]):
+                        cumulative += count
+                        lines.append(prometheus_line(
+                            f"{name}_bucket", dict(labels, le=bound),
+                            cumulative))
+                    lines.append(prometheus_line(f"{name}_sum", labels,
+                                                 entry["sum"]))
+                    lines.append(prometheus_line(f"{name}_count", labels,
+                                                 entry["count"]))
+                else:
+                    lines.append(prometheus_line(name, labels,
+                                                 entry["value"]))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ------------------------------------------------------- exposition helpers
+
+def _format_value(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _escape_label(value):
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def prometheus_line(name, labels, value):
+    """One exposition sample line; shared with the server's hand counters."""
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label(val)}"'
+            for key, val in sorted(labels.items())
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_BODY = _NAME_START | set("0123456789")
+
+
+def _valid_name(name):
+    return (bool(name) and name[0] in _NAME_START
+            and all(ch in _NAME_BODY for ch in name))
+
+
+def parse_prometheus(text):
+    """Validate a text exposition line by line; returns the parsed samples.
+
+    Returns ``[(metric_name, labels_dict, float_value), ...]``.  Raises
+    ``ValueError`` naming the first offending line — this is the schema
+    check the CI ``obs-smoke`` job runs over the server's ``/metrics``
+    exposition and any exported artefact.
+    """
+    samples = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 2)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(
+                    f"line {number}: malformed comment {raw!r} "
+                    "(expected '# HELP <name> ...' or '# TYPE <name> ...')"
+                )
+            if parts[1] == "TYPE":
+                kind = parts[2].split()
+                if len(kind) != 2 or kind[1] not in (*_KINDS, "untyped"):
+                    raise ValueError(
+                        f"line {number}: bad TYPE declaration {raw!r}"
+                    )
+            continue
+        name, labels, rest = _parse_sample_name(line, number)
+        try:
+            value = float(rest.strip().split()[0])
+        except (ValueError, IndexError):
+            raise ValueError(
+                f"line {number}: sample {raw!r} has no numeric value"
+            ) from None
+        samples.append((name, labels, value))
+    return samples
+
+
+def _parse_sample_name(line, number):
+    """Split one sample line into (name, labels, remainder-with-value)."""
+    brace = line.find("{")
+    if brace < 0:
+        name, _, rest = line.partition(" ")
+        if not _valid_name(name):
+            raise ValueError(f"line {number}: invalid metric name {name!r}")
+        return name, {}, rest
+    name = line[:brace]
+    if not _valid_name(name):
+        raise ValueError(f"line {number}: invalid metric name {name!r}")
+    closing = _closing_brace(line, brace)
+    if closing < 0:
+        raise ValueError(f"line {number}: unterminated label set in {line!r}")
+    labels = {}
+    body = line[brace + 1:closing]
+    if body:
+        for pair in _split_label_pairs(body, number):
+            key, _, quoted = pair.partition("=")
+            if (not _valid_name(key) or len(quoted) < 2
+                    or quoted[0] != '"' or quoted[-1] != '"'):
+                raise ValueError(
+                    f"line {number}: malformed label pair {pair!r}"
+                )
+            labels[key] = (quoted[1:-1].replace('\\"', '"')
+                          .replace("\\n", "\n").replace("\\\\", "\\"))
+    return name, labels, line[closing + 1:]
+
+
+def _closing_brace(line, brace):
+    """Index of the ``}`` closing the label set, honouring quoted values.
+
+    A label value may itself contain braces (a route template like
+    ``/jobs/{id}``), so the closing brace is the first unquoted one, not
+    the first one ``str.find`` sees.
+    """
+    in_quotes = escaped = False
+    for index in range(brace + 1, len(line)):
+        ch = line[index]
+        if escaped:
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == '"':
+            in_quotes = not in_quotes
+        elif ch == "}" and not in_quotes:
+            return index
+    return -1
+
+
+def _split_label_pairs(body, number):
+    """Split ``a="x",b="y"`` at unquoted commas (values may contain commas)."""
+    pairs, current, in_quotes, escaped = [], [], False, False
+    for ch in body:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if in_quotes:
+        raise ValueError(f"line {number}: unterminated label value in {body!r}")
+    if current:
+        pairs.append("".join(current))
+    return pairs

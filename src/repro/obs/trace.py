@@ -1,0 +1,231 @@
+"""Span-based wall-clock tracing with Chrome trace-event export.
+
+A *span* is one timed region of real (wall-clock) time — a co-simulation
+run, one sweep job, one HTTP request — with a name, a category, the thread
+it ran on and optional key/value arguments.  Spans nest naturally (the
+context manager records whatever encloses whatever), and the exported
+Chrome trace-event JSON renders that nesting on a per-thread timeline in
+``chrome://tracing`` / Perfetto.
+
+The tracer is deliberately small and safe to leave attached:
+
+* **Bounded.**  Finished spans land in a ring buffer (``deque`` with
+  ``maxlen``); a runaway workload evicts its oldest spans and counts them
+  in ``dropped`` instead of growing without limit.
+* **Thread-safe.**  Span contexts carry their own start time; the only
+  shared mutation is the final append, which is atomic on a ``deque``.
+  Concurrent spans on different threads interleave freely.
+* **Wall-clock only.**  Span times come from ``time.perf_counter`` (a
+  monotonic clock), never from simulated time — the tracer measures where
+  *real* time goes, which simulated-time latencies
+  (:mod:`repro.cosim.tracing`) cannot see.
+
+Simulated results must never depend on the tracer: nothing here feeds
+back into any simulation structure, and the conformance sweep is run with
+telemetry enabled to pin exactly that.
+"""
+
+import threading
+import time
+from collections import deque
+
+#: Default ring-buffer capacity (finished spans retained).
+DEFAULT_SPAN_LIMIT = 65536
+
+
+class SpanContext:
+    """One live span: created by :meth:`SpanTracer.span`, used as ``with``."""
+
+    __slots__ = ("tracer", "name", "cat", "args", "start")
+
+    def __init__(self, tracer, name, cat, args):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.start = None
+
+    def __enter__(self):
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        end = time.perf_counter()
+        self.tracer._finish(self, end, failed=exc_type is not None)
+        return False
+
+
+class SpanTracer:
+    """Collects finished spans in a bounded ring buffer."""
+
+    def __init__(self, limit=DEFAULT_SPAN_LIMIT):
+        if limit is not None and limit < 1:
+            raise ValueError(f"span limit must be >= 1 or None, got {limit}")
+        self._spans = deque(maxlen=limit)
+        self._lock = threading.Lock()
+        #: perf_counter origin; span timestamps are microseconds past this.
+        self.epoch = time.perf_counter()
+        self.started = 0
+        self.finished = 0
+
+    @property
+    def limit(self):
+        return self._spans.maxlen
+
+    @property
+    def dropped(self):
+        """Finished spans evicted by the ring buffer."""
+        return self.finished - len(self._spans)
+
+    def span(self, name, cat="repro", **args):
+        """A context manager timing one region; records on exit."""
+        self.started += 1
+        return SpanContext(self, name, cat, args or None)
+
+    def record(self, name, start, end, cat="repro", tid=None, **args):
+        """Record a span post-hoc from explicit ``perf_counter`` stamps.
+
+        Pooled sweep jobs run in forked worker processes whose telemetry
+        dies with them; the workers ship raw ``(start, end)`` stamps back
+        and the parent records the span here.  On Linux ``perf_counter``
+        is ``CLOCK_MONOTONIC``, which is system-wide, so child stamps are
+        directly comparable with this tracer's epoch.
+        """
+        entry = {
+            "name": name,
+            "cat": cat,
+            "ts_us": (start - self.epoch) * 1e6,
+            "dur_us": (end - start) * 1e6,
+            "tid": threading.get_ident() if tid is None else tid,
+            "args": args or {},
+        }
+        with self._lock:
+            self._spans.append(entry)
+            self.started += 1
+            self.finished += 1
+
+    def _finish(self, context, end, failed=False):
+        args = dict(context.args) if context.args else {}
+        if failed:
+            args["failed"] = True
+        entry = {
+            "name": context.name,
+            "cat": context.cat,
+            "ts_us": (context.start - self.epoch) * 1e6,
+            "dur_us": (end - context.start) * 1e6,
+            "tid": threading.get_ident(),
+            "args": args,
+        }
+        # deque.append is atomic, but finished must stay consistent with
+        # the buffer for an accurate dropped count.
+        with self._lock:
+            self._spans.append(entry)
+            self.finished += 1
+
+    # -------------------------------------------------------------- queries
+
+    def spans(self, name=None, cat=None):
+        """Finished spans, oldest first, optionally filtered."""
+        with self._lock:
+            snapshot = list(self._spans)
+        return [
+            span for span in snapshot
+            if (name is None or span["name"] == name)
+            and (cat is None or span["cat"] == cat)
+        ]
+
+    def reset(self):
+        with self._lock:
+            self._spans.clear()
+            self.epoch = time.perf_counter()
+            self.started = 0
+            self.finished = 0
+
+    def __len__(self):
+        return len(self._spans)
+
+    # -------------------------------------------------------------- exports
+
+    def as_dict(self):
+        """JSON-able snapshot: spans plus ring-buffer accounting."""
+        return {
+            "limit": self.limit,
+            "started": self.started,
+            "finished": self.finished,
+            "dropped": self.dropped,
+            "spans": self.spans(),
+        }
+
+    def to_chrome(self, pid=0, process_name="repro"):
+        """The trace as a Chrome trace-event JSON object (``ph: "X"``)."""
+        return chrome_trace(self.as_dict(), pid=pid,
+                            process_name=process_name)
+
+
+def chrome_trace(trace_state, pid=0, process_name="repro"):
+    """Convert a :meth:`SpanTracer.as_dict` snapshot to trace-event JSON.
+
+    Emits complete (``ph: "X"``) events plus a process-name metadata
+    event; the result loads directly in ``chrome://tracing`` and
+    Perfetto.  Shared by the live tracer and the artefact CLI.
+    """
+    events = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for span in trace_state["spans"]:
+        events.append({
+            "name": span["name"],
+            "cat": span["cat"],
+            "ph": "X",
+            "ts": round(span["ts_us"], 3),
+            "dur": round(span["dur_us"], 3),
+            "pid": pid,
+            "tid": span["tid"],
+            "args": span["args"],
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(data):
+    """Schema-check a trace-event JSON object; raises ``ValueError``.
+
+    This is the load check the CI ``obs-smoke`` job performs: the object
+    shape, the per-event required keys and the phase-specific fields are
+    verified the way ``chrome://tracing``'s importer would.
+    """
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("trace must be an object with a 'traceEvents' list")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event {index} is missing {key!r}")
+        phase = event["ph"]
+        if phase == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    raise ValueError(
+                        f"event {index}: complete event needs numeric "
+                        f"{key!r}"
+                    )
+            if event["dur"] < 0:
+                raise ValueError(f"event {index}: negative duration")
+        elif phase == "M":
+            if not isinstance(event.get("args"), dict):
+                raise ValueError(
+                    f"event {index}: metadata event needs an 'args' object"
+                )
+        else:
+            raise ValueError(
+                f"event {index}: unsupported phase {phase!r} "
+                "(this exporter emits only 'X' and 'M')"
+            )
+    return len(events)

@@ -8,6 +8,9 @@ each request on its own thread to a handler that translates routes into
 Method Route                      Meaning
 ====== ========================== ===========================================
 GET    ``/metrics``               service counters (queue, states, cache, fsm)
+GET    ``/metrics/prometheus``    the same counters, Prometheus text format
+                                  (also ``/metrics?format=prometheus``); when
+                                  telemetry is on, the process registry too
 GET    ``/jobs``                  summaries of every submitted job
 GET    ``/jobs/<id>``             full record of one job (spec, state, record)
 GET    ``/jobs/<id>/artifacts``   cached payload of a cacheable job
@@ -21,9 +24,30 @@ drains).  Every response body is a JSON object.
 """
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs import TELEMETRY
 from repro.server.service import QueueFullError
+
+
+def _route_template(method, path):
+    """Collapse a request path to its route template for metric labels.
+
+    Job ids must not explode the label space, so ``/jobs/job-000123``
+    becomes ``/jobs/{id}``; anything unrecognised is pooled under
+    ``other`` rather than minting a label per probe path.
+    """
+    path = path.split("?", 1)[0].rstrip("/") or "/"
+    if path in ("/metrics", "/metrics/prometheus", "/jobs", "/tick"):
+        return path
+    if path.startswith("/jobs/"):
+        parts = path[len("/jobs/"):].split("/")
+        if len(parts) == 1:
+            return "/jobs/{id}"
+        if len(parts) == 2 and parts[1] == "artifacts":
+            return "/jobs/{id}/artifacts"
+    return "other"
 
 
 class JobRequestHandler(BaseHTTPRequestHandler):
@@ -34,13 +58,21 @@ class JobRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------- responses
 
-    def _send_json(self, status, payload):
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    def _send_body(self, status, body, content_type):
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status, payload):
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_body(status, body, "application/json")
+
+    def _send_text(self, status, text):
+        self._send_body(status, text.encode("utf-8"),
+                        "text/plain; version=0.0.4; charset=utf-8")
 
     def _error(self, status, message):
         self._send_json(status, {"error": message})
@@ -57,11 +89,46 @@ class JobRequestHandler(BaseHTTPRequestHandler):
 
     # ----------------------------------------------------------------- routes
 
+    def _observed(self, method, handler):
+        """Run *handler*, timing it into the per-route request histogram."""
+        if not TELEMETRY.enabled:
+            handler()
+            return
+        self._status = 0
+        start = time.perf_counter()
+        try:
+            handler()
+        finally:
+            elapsed = time.perf_counter() - start
+            TELEMETRY.metrics.histogram(
+                "repro_server_request_seconds",
+                labels={"route": _route_template(method, self.path),
+                        "method": method},
+                help="HTTP request handling latency by route.",
+            ).observe(elapsed)
+            TELEMETRY.metrics.counter(
+                "repro_server_responses_total",
+                labels={"status": str(self._status)},
+                help="HTTP responses by status code.",
+            ).inc()
+
     def do_GET(self):
+        self._observed("GET", self._handle_get)
+
+    def do_POST(self):
+        self._observed("POST", self._handle_post)
+
+    def _handle_get(self):
         service = self.server.service
-        path = self.path.rstrip("/") or "/"
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/metrics":
-            self._send_json(200, service.metrics())
+            if ("format=prometheus" in (self.path.split("?", 1) + [""])[1]):
+                self._send_text(200, service.prometheus_metrics())
+            else:
+                self._send_json(200, service.metrics())
+            return
+        if path == "/metrics/prometheus":
+            self._send_text(200, service.prometheus_metrics())
             return
         if path == "/jobs":
             self._send_json(200, {
@@ -89,7 +156,7 @@ class JobRequestHandler(BaseHTTPRequestHandler):
                 return
         self._error(404, f"unknown route: GET {self.path}")
 
-    def do_POST(self):
+    def _handle_post(self):
         service = self.server.service
         path = self.path.rstrip("/")
         if path == "/jobs":

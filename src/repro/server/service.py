@@ -35,6 +35,7 @@ import itertools
 import threading
 import time
 
+from repro.obs import TELEMETRY, prometheus_line
 from repro.sweep.cache import ArtifactCache
 from repro.sweep.jobs import job_from_dict
 from repro.utils.errors import ReproError
@@ -61,7 +62,8 @@ class JobRecord:
 
     __slots__ = ("id", "job", "state", "source", "cache_key", "cached",
                  "record", "error", "submitted_at", "started_at",
-                 "finished_at")
+                 "finished_at", "submitted_mono", "started_mono",
+                 "finished_mono")
 
     def __init__(self, job_id, job, source):
         self.id = job_id
@@ -72,9 +74,27 @@ class JobRecord:
         self.cached = False
         self.record = None
         self.error = None
+        # Wall-clock stamps are for display only; every *duration* is
+        # computed from the monotonic twins below — time.time() may jump
+        # (NTP step, clock slew) and must never feed a latency metric.
         self.submitted_at = time.time()
         self.started_at = None
         self.finished_at = None
+        self.submitted_mono = time.monotonic()
+        self.started_mono = None
+        self.finished_mono = None
+
+    def queue_wait_s(self):
+        """Seconds from submission to execution start (monotonic), or None."""
+        if self.started_mono is None:
+            return None
+        return self.started_mono - self.submitted_mono
+
+    def run_s(self):
+        """Seconds from execution start to finish (monotonic), or None."""
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return self.finished_mono - self.started_mono
 
     def summary(self):
         return {
@@ -95,6 +115,8 @@ class JobRecord:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queue_wait_s": self.queue_wait_s(),
+            "run_s": self.run_s(),
             "record": self.record,
         })
         return data
@@ -128,7 +150,8 @@ class JobService:
         self._threads = []
         self._pool = None
         self._stopping = False
-        self._started_at = time.time()
+        self._started_at = time.time()       # wall stamp, display only
+        self._started_mono = time.monotonic()  # uptime source
         self._ticks = 0
         self._pool_replacements = 0
         self._fsm_totals = {"steps": 0, "transitions_fired": 0,
@@ -201,6 +224,7 @@ class JobService:
                 record.cached = True
                 record.state = "done"
                 record.finished_at = time.time()
+                record.finished_mono = time.monotonic()
                 self._jobs[record.id] = record
                 return record
             if len(self._queue) >= self.queue_limit:
@@ -283,8 +307,68 @@ class JobService:
                 "ticks": self._ticks,
                 "schedules": len(self.schedules),
                 "pool_replacements": self._pool_replacements,
-                "uptime_s": round(time.time() - self._started_at, 3),
+                "started_at": self._started_at,
+                "uptime_s": round(time.monotonic() - self._started_mono, 3),
             }
+
+    def prometheus_metrics(self):
+        """The :meth:`metrics` counters in Prometheus text exposition.
+
+        Service-level gauges/counters are rendered by hand (they live in
+        plain attributes, not the telemetry registry); when telemetry is
+        enabled the process-wide registry — kernel, cosim, sweep, pool and
+        HTTP instruments — is appended, so one scrape sees everything.
+        """
+        snapshot = self.metrics()
+        lines = [
+            "# TYPE repro_server_uptime_seconds gauge",
+            prometheus_line("repro_server_uptime_seconds", None,
+                            snapshot["uptime_s"]),
+            "# TYPE repro_server_queue_depth gauge",
+            prometheus_line("repro_server_queue_depth", None,
+                            snapshot["queue"]["depth"]),
+            "# TYPE repro_server_queue_limit gauge",
+            prometheus_line("repro_server_queue_limit", None,
+                            snapshot["queue"]["limit"]),
+            "# TYPE repro_server_workers gauge",
+            prometheus_line("repro_server_workers", None,
+                            snapshot["queue"]["workers"]),
+            "# TYPE repro_server_jobs_submitted_total counter",
+            prometheus_line("repro_server_jobs_submitted_total", None,
+                            snapshot["jobs"]["submitted"]),
+            "# TYPE repro_server_jobs_by_state gauge",
+        ]
+        lines.extend(
+            prometheus_line("repro_server_jobs_by_state", {"state": state},
+                            count)
+            for state, count in sorted(snapshot["jobs"]["by_state"].items())
+        )
+        lines.append("# TYPE repro_server_cache_served_total counter")
+        lines.append(prometheus_line("repro_server_cache_served_total", None,
+                                     snapshot["jobs"]["cache_served"]))
+        lines.append("# TYPE repro_server_fsm_counter_total counter")
+        lines.extend(
+            prometheus_line("repro_server_fsm_counter_total",
+                            {"counter": counter}, value)
+            for counter, value in sorted(snapshot["fsm"].items())
+        )
+        lines.append("# TYPE repro_server_ticks_total counter")
+        lines.append(prometheus_line("repro_server_ticks_total", None,
+                                     snapshot["ticks"]))
+        lines.append("# TYPE repro_server_pool_replacements_total counter")
+        lines.append(prometheus_line("repro_server_pool_replacements_total",
+                                     None, snapshot["pool_replacements"]))
+        if snapshot["cache"] is not None:
+            lines.append("# TYPE repro_server_cache_events_total counter")
+            lines.extend(
+                prometheus_line("repro_server_cache_events_total",
+                                {"event": event}, value)
+                for event, value in sorted(snapshot["cache"].items())
+            )
+        text = "\n".join(lines) + "\n"
+        if TELEMETRY.enabled:
+            text += TELEMETRY.metrics.to_prometheus()
+        return text
 
     # ----------------------------------------------------------------- ticks
 
@@ -318,6 +402,7 @@ class JobService:
                 record = self._jobs[self._queue.pop(0)]
                 record.state = "running"
                 record.started_at = time.time()
+                record.started_mono = time.monotonic()
                 pool = self._pool
             try:
                 outcome, payload = pool.map(_execute_job, [record.job],
@@ -341,6 +426,24 @@ class JobService:
             record.error = error
             record.state = "failed" if error else "done"
             record.finished_at = time.time()
+            record.finished_mono = time.monotonic()
+            if TELEMETRY.enabled:
+                TELEMETRY.metrics.counter(
+                    "repro_server_jobs_total",
+                    labels={"kind": record.job.kind, "state": record.state},
+                    help="Jobs finished by the server, by kind and state.",
+                ).inc()
+                wait, run = record.queue_wait_s(), record.run_s()
+                if wait is not None:
+                    TELEMETRY.metrics.histogram(
+                        "repro_server_job_queue_wait_seconds",
+                        help="Submission-to-start wait per executed job.",
+                    ).observe(wait)
+                if run is not None:
+                    TELEMETRY.metrics.histogram(
+                        "repro_server_job_run_seconds",
+                        help="Start-to-finish run time per executed job.",
+                    ).observe(run)
             fsm = (outcome or {}).get("fsm")
             if fsm:
                 for key in self._fsm_totals:

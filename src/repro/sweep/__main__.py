@@ -31,6 +31,7 @@ import tempfile
 import time
 
 from repro.cosim.faults import FAULT_KINDS
+from repro.obs import TELEMETRY
 from repro.sweep.cache import ArtifactCache
 from repro.sweep.jobs import (
     CosimJob,
@@ -215,6 +216,9 @@ def main(argv=None):
     parser.add_argument("--selfcheck", action="store_true",
                         help="assert serial/parallel parity and warm-cache "
                              "behaviour instead of a plain run")
+    parser.add_argument("--obs-out", metavar="FILE",
+                        help="enable telemetry for the batch and write the "
+                             "artefact (inspect with python -m repro.obs)")
     parser.add_argument("--verbose", action="store_true",
                         help="print one line per job")
     args = parser.parse_args(argv)
@@ -232,6 +236,8 @@ def main(argv=None):
 
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
     progress = print if args.verbose else None
+    if args.obs_out:
+        TELEMETRY.enable()
     started = time.perf_counter()
     report = SweepService(jobs, workers=args.workers, cache=cache).run(
         progress=progress
@@ -240,6 +246,9 @@ def main(argv=None):
 
     print(report.summary())
     print(f"({elapsed:.1f} s wall clock, {args.workers} worker(s))")
+    if args.obs_out:
+        TELEMETRY.write(args.obs_out)
+        print(f"telemetry artefact written to {args.obs_out}")
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report.to_json())

@@ -22,7 +22,9 @@ aborted batch.
 """
 
 import json
+import time
 
+from repro.obs import TELEMETRY
 from repro.sweep.cache import ArtifactCache
 from repro.utils.errors import ReproError
 from repro.utils.pool import WorkerPool
@@ -35,6 +37,18 @@ def _execute_job(job):
         return job.execute()
     except ReproError as exc:
         return job.error_record(exc), None
+
+
+def _execute_job_stamped(job):
+    """Worker entry carrying ``perf_counter`` stamps for the parent's trace.
+
+    Telemetry a forked worker collects dies with the worker; what survives
+    is this pair of monotonic stamps, from which the parent reconstructs
+    the job span and the queue-wait/run-time split.
+    """
+    start = time.perf_counter()
+    outcome = _execute_job(job)
+    return outcome, start, time.perf_counter()
 
 
 class SweepReport:
@@ -159,10 +173,16 @@ class SweepService:
 
     def run(self, progress=None):
         """Execute every job and return the :class:`SweepReport`."""
+        with TELEMETRY.span("sweep.batch", cat="sweep",
+                            jobs=len(self.jobs), workers=self.workers):
+            return self._run(progress)
+
+    def _run(self, progress):
         def note(message):
             if progress is not None:
                 progress(message)
 
+        obs = TELEMETRY if TELEMETRY.enabled else None
         records = [None] * len(self.jobs)
         pending = []  # (slot, job, cache_key_or_None)
         for slot, job in enumerate(self.jobs):
@@ -173,25 +193,75 @@ class SweepService:
                 if payload is not None:
                     records[slot] = job.record_from_payload(payload,
                                                             cached=True)
+                    if obs is not None:
+                        self._obs_count(obs, job.kind, "cached")
                     note(f"[cache ] {job.name}: hit")
                     continue
             pending.append((slot, job, key))
 
         if pending:
-            note(f"[run   ] {len(pending)} jobs on "
-                 f"{min(self.workers, len(pending))} worker(s)")
+            workers_used = min(self.workers, len(pending))
+            note(f"[run   ] {len(pending)} jobs on {workers_used} worker(s)")
+            dispatch_start = time.perf_counter()
             if self.workers > 1 and len(pending) > 1:
                 with WorkerPool(self.workers) as pool:
-                    outcomes = pool.map(_execute_job,
-                                        [job for _, job, _ in pending])
+                    stamped = pool.map(_execute_job_stamped,
+                                       [job for _, job, _ in pending])
             else:
-                outcomes = [_execute_job(job) for _, job, _ in pending]
-            for (slot, job, key), (record, payload) in zip(pending, outcomes):
+                stamped = [_execute_job_stamped(job)
+                           for _, job, _ in pending]
+            batch_seconds = time.perf_counter() - dispatch_start
+            busy_seconds = 0.0
+            for (slot, job, key), (outcome, start, end) in zip(pending,
+                                                               stamped):
+                record, payload = outcome
                 records[slot] = record
+                busy_seconds += end - start
+                if obs is not None:
+                    self._obs_job(obs, job, record, dispatch_start, start,
+                                  end)
                 if key is not None and payload is not None:
                     self.cache.put(key, payload)
                 note(f"[done  ] {job.name}: "
                      f"{'ERROR' if record.get('error') else 'ok'}")
+            if obs is not None and batch_seconds > 0:
+                obs.metrics.gauge(
+                    "repro_sweep_worker_utilization",
+                    help="Busy fraction of the worker pool over the last "
+                         "batch (total job run time / workers / wall time).",
+                ).set(busy_seconds / (workers_used * batch_seconds))
 
         cache_stats = self.cache.stats if self.cache is not None else None
         return SweepReport(records, cache_stats=cache_stats)
+
+    # ------------------------------------------------------------- telemetry
+
+    @staticmethod
+    def _obs_count(obs, kind, outcome):
+        obs.metrics.counter(
+            "repro_sweep_jobs_total", labels={"kind": kind,
+                                              "outcome": outcome},
+            help="Sweep jobs by kind and outcome (ok/error/cached).",
+        ).inc()
+
+    @staticmethod
+    def _obs_job(obs, job, record, dispatch_start, start, end):
+        """One executed job: span plus queue-wait/run-time histograms.
+
+        The span is recorded post-hoc from the worker's stamps, so pooled
+        and serial runs land in the same trace with real timings; *queue
+        wait* is how long the job sat behind the dispatch point before a
+        worker (or the serial loop) picked it up.
+        """
+        outcome = "error" if record.get("error") else "ok"
+        SweepService._obs_count(obs, job.kind, outcome)
+        obs.tracer.record("sweep.job", start, end, cat="sweep",
+                          job=job.name, kind=job.kind, outcome=outcome)
+        obs.metrics.histogram(
+            "repro_sweep_job_seconds", labels={"kind": job.kind},
+            help="Per-job run time (seconds, worker-side).",
+        ).observe(end - start)
+        obs.metrics.histogram(
+            "repro_sweep_queue_wait_seconds",
+            help="Dispatch-to-start wait per executed job (seconds).",
+        ).observe(max(0.0, start - dispatch_start))

@@ -24,6 +24,7 @@ and, optionally, a per-worker initializer.
 
 import multiprocessing
 
+from repro.obs import TELEMETRY
 from repro.utils.errors import ReproError
 
 
@@ -109,10 +110,21 @@ class WorkerPool:
             chunksize = max(1, len(items) // (4 * self.workers))
         chunks = [(func, items[start:start + chunksize])
                   for start in range(0, len(items), chunksize)]
+        with TELEMETRY.span("pool.map", cat="pool", items=len(items),
+                            chunks=len(chunks), workers=self.workers):
+            results = self._map_chunks(chunks, len(items))
+        if TELEMETRY.enabled:
+            TELEMETRY.metrics.counter(
+                "repro_pool_items_total",
+                help="Items completed through WorkerPool.map.",
+            ).inc(len(results))
+        return results
+
+    def _map_chunks(self, chunks, total):
         known_pids = self._worker_pids()
         iterator = self._pool.imap(_run_chunk, chunks, chunksize=1)
         results = []
-        while len(results) < len(items):
+        while len(results) < total:
             try:
                 results.extend(iterator.next(timeout=self._POLL_INTERVAL))
                 continue
@@ -123,15 +135,20 @@ class WorkerPool:
                 # our in-flight work died with the workers.
                 raise PoolError(
                     f"worker pool broke mid-map; item {len(results)} of "
-                    f"{len(items)} never finished",
+                    f"{total} never finished",
                     item_index=len(results),
                 )
             dead = known_pids - self._worker_pids()
             if dead:
                 self._broken = True
+                if TELEMETRY.enabled:
+                    TELEMETRY.metrics.counter(
+                        "repro_pool_worker_deaths_total",
+                        help="Worker processes lost mid-map.",
+                    ).inc(len(dead))
                 raise PoolError(
                     f"worker process(es) {sorted(dead)} died mid-map; "
-                    f"item {len(results)} of {len(items)} never finished "
+                    f"item {len(results)} of {total} never finished "
                     f"({len(results)} results were already completed)",
                     item_index=len(results),
                 )

@@ -1,0 +1,326 @@
+"""Unit tests of the telemetry core: registry, tracer, exports, CLI."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    TELEMETRY,
+    Telemetry,
+    chrome_trace,
+    load_artifact,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    DEPTH_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus,
+    prometheus_line,
+)
+from repro.obs.trace import SpanTracer
+from repro.obs.__main__ import main as obs_main
+
+
+@pytest.fixture(autouse=True)
+def clean_global_telemetry():
+    """Leave the process-wide singleton disabled and empty around each test."""
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_same_labels_is_the_same_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", labels={"kind": "a"})
+        again = registry.counter("hits_total", labels={"kind": "a"})
+        other = registry.counter("hits_total", labels={"kind": "b"})
+        assert a is again
+        assert a is not other
+
+    def test_kind_conflict_on_a_name_is_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value == 5
+
+    def test_histogram_buckets_count_and_sum(self):
+        registry = MetricsRegistry()
+        histo = registry.histogram("lat", buckets=(1, 2, 4))
+        for value in (0.5, 1.5, 3, 100):
+            histo.observe(value)
+        assert histo.counts == [1, 1, 1, 1]  # last slot is the +Inf overflow
+        assert histo.total == 4
+        assert histo.sum == pytest.approx(105.0)
+
+    def test_histogram_depth_buckets_take_integers(self):
+        registry = MetricsRegistry()
+        histo = registry.histogram("depth", buckets=DEPTH_BUCKETS)
+        histo.observe(3)
+        histo.observe(0)
+        assert histo.total == 2
+
+    def test_as_dict_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b_total", labels={"x": "2"}).inc()
+            registry.counter("b_total", labels={"x": "1"}).inc(2)
+            registry.gauge("a").set(3)
+            return registry.as_dict()
+
+        assert json.dumps(build(), sort_keys=True) \
+            == json.dumps(build(), sort_keys=True)
+
+    def test_reset_drops_series_values(self):
+        registry = MetricsRegistry()
+        registry.counter("n_total").inc(9)
+        registry.reset()
+        assert registry.counter("n_total").value == 0
+
+
+class TestPrometheusExposition:
+    def test_registry_round_trips_through_the_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", labels={"kind": "cosim"},
+                         help="Jobs.").inc(3)
+        registry.gauge("util").set(0.5)
+        registry.histogram("lat_seconds", buckets=(0.1, 1)).observe(0.05)
+        samples = parse_prometheus(registry.to_prometheus())
+        values = {(name, tuple(sorted(labels.items()))): value
+                  for name, labels, value in samples}
+        assert values[("jobs_total", (("kind", "cosim"),))] == 3
+        assert values[("util", ())] == 0.5
+        # Histogram buckets are cumulative and include +Inf.
+        assert values[("lat_seconds_bucket", (("le", "+Inf"),))] == 1
+        assert values[("lat_seconds_count", ())] == 1
+
+    def test_label_values_may_contain_braces_and_commas(self):
+        line = prometheus_line("reqs_total",
+                              {"route": "/jobs/{id}", "q": "a,b"}, 2)
+        samples = parse_prometheus(line + "\n")
+        assert samples == [("reqs_total",
+                            {"route": "/jobs/{id}", "q": "a,b"}, 2.0)]
+
+    def test_label_escaping_round_trips(self):
+        line = prometheus_line("m", {"v": 'say "hi"\nback\\slash'}, 1)
+        [(_, labels, _)] = parse_prometheus(line)
+        assert labels["v"] == 'say "hi"\nback\\slash'
+
+    @pytest.mark.parametrize("bad", [
+        "1bad_name 3",
+        "no_value{a=\"x\"}",
+        "unterminated{a=\"x 3",
+        "# BOGUS comment here",
+        "name{a=b} 1",
+    ])
+    def test_malformed_lines_are_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_prometheus(bad)
+
+
+class TestSpanTracer:
+    def test_span_records_name_cat_args_duration(self):
+        tracer = SpanTracer()
+        with tracer.span("work", cat="test", seed=3):
+            pass
+        [span] = tracer.spans()
+        assert span["name"] == "work"
+        assert span["cat"] == "test"
+        assert span["args"] == {"seed": 3}
+        assert span["dur_us"] >= 0
+
+    def test_exception_marks_the_span_failed(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        [span] = tracer.spans()
+        assert span["args"]["failed"] is True
+
+    def test_ring_buffer_evicts_and_counts_dropped(self):
+        tracer = SpanTracer(limit=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert tracer.finished == 10
+
+    def test_record_post_hoc_from_stamps(self):
+        import time
+        tracer = SpanTracer()
+        start = time.perf_counter()
+        end = start + 0.25
+        tracer.record("worker.job", start, end, cat="pool", job="j1")
+        [span] = tracer.spans()
+        assert span["dur_us"] == pytest.approx(250_000, rel=1e-6)
+        assert span["args"] == {"job": "j1"}
+
+    def test_concurrent_spans_all_land(self):
+        tracer = SpanTracer()
+
+        def spin():
+            for _ in range(50):
+                with tracer.span("t"):
+                    pass
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracer.finished == 200
+
+    def test_filtered_queries(self):
+        tracer = SpanTracer()
+        with tracer.span("a", cat="x"):
+            pass
+        with tracer.span("b", cat="y"):
+            pass
+        assert [s["name"] for s in tracer.spans(name="a")] == ["a"]
+        assert [s["name"] for s in tracer.spans(cat="y")] == ["b"]
+
+
+class TestChromeTrace:
+    def test_export_validates_and_round_trips_json(self):
+        tracer = SpanTracer()
+        with tracer.span("region", cat="test", k="v"):
+            pass
+        payload = json.loads(json.dumps(tracer.to_chrome()))
+        count = validate_chrome_trace(payload)
+        assert count == 2  # metadata + one complete event
+        event = payload["traceEvents"][1]
+        assert event["ph"] == "X"
+        assert event["name"] == "region"
+
+    @pytest.mark.parametrize("mangle", [
+        lambda t: t.pop("traceEvents"),
+        lambda t: t["traceEvents"].append({"ph": "X"}),
+        lambda t: t["traceEvents"].append(
+            {"name": "n", "ph": "X", "pid": 0, "tid": 0, "ts": 0}),
+        lambda t: t["traceEvents"].append(
+            {"name": "n", "ph": "Q", "pid": 0, "tid": 0}),
+    ])
+    def test_schema_violations_raise(self, mangle):
+        trace = chrome_trace(SpanTracer().as_dict())
+        mangle(trace)
+        with pytest.raises(ValueError):
+            validate_chrome_trace(trace)
+
+
+class TestTelemetry:
+    def test_disabled_span_is_the_shared_noop_and_stores_nothing(self):
+        telemetry = Telemetry()
+        probe = telemetry.span("anything", key="value")
+        assert probe is NOOP_SPAN
+        assert telemetry.span("other") is NOOP_SPAN  # same object every time
+        with probe:
+            pass
+        assert len(telemetry.tracer) == 0
+        assert telemetry.tracer.started == 0
+
+    def test_enabled_span_records(self):
+        telemetry = Telemetry().enable()
+        with telemetry.span("real"):
+            pass
+        assert [s["name"] for s in telemetry.tracer.spans()] == ["real"]
+
+    def test_enable_resize_preserves_existing_spans(self):
+        telemetry = Telemetry().enable()
+        for index in range(3):
+            with telemetry.span(f"s{index}"):
+                pass
+        telemetry.enable(span_limit=8)
+        assert telemetry.tracer.limit == 8
+        assert [s["name"] for s in telemetry.tracer.spans()] \
+            == ["s0", "s1", "s2"]
+
+    def test_artifact_write_load_round_trip(self, tmp_path):
+        telemetry = Telemetry().enable()
+        telemetry.metrics.counter("n_total").inc(2)
+        with telemetry.span("s"):
+            pass
+        path = tmp_path / "obs.json"
+        telemetry.write(path)
+        artifact = load_artifact(path)
+        assert artifact["format"] == 1
+        assert artifact["trace"]["finished"] == 1
+
+    def test_load_artifact_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not_obs.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_artifact(path)
+
+
+class TestCli:
+    @pytest.fixture
+    def artifact_path(self, tmp_path):
+        telemetry = Telemetry().enable()
+        telemetry.metrics.counter("jobs_total",
+                                  labels={"kind": "kernel"}).inc(4)
+        telemetry.metrics.histogram("lat_seconds",
+                                    buckets=(0.1, 1)).observe(0.02)
+        with telemetry.span("sweep.job", cat="sweep"):
+            pass
+        path = tmp_path / "obs.json"
+        telemetry.write(path)
+        return path
+
+    def test_summary_prints_counters_and_spans(self, artifact_path, capsys):
+        assert obs_main(["summary", str(artifact_path)]) == 0
+        out = capsys.readouterr().out
+        assert "jobs_total" in out
+        assert "sweep.job" in out
+
+    def test_convert_chrome_is_valid_trace_json(self, artifact_path,
+                                                tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert obs_main(["convert", str(artifact_path), "--to", "chrome",
+                         "-o", str(out_path)]) == 0
+        validate_chrome_trace(json.loads(out_path.read_text()))
+
+    def test_convert_prometheus_parses(self, artifact_path, capsys):
+        assert obs_main(["convert", str(artifact_path),
+                         "--to", "prometheus"]) == 0
+        samples = parse_prometheus(capsys.readouterr().out)
+        assert any(name == "jobs_total" for name, _, _ in samples)
+
+    def test_diff_reports_counter_deltas(self, artifact_path, tmp_path,
+                                         capsys):
+        telemetry = Telemetry().enable()
+        telemetry.metrics.counter("jobs_total",
+                                  labels={"kind": "kernel"}).inc(9)
+        after = tmp_path / "after.json"
+        telemetry.write(after)
+        assert obs_main(["diff", str(artifact_path), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "jobs_total" in out
+        assert "5" in out  # 9 - 4
+
+    def test_diff_identical_artifacts_says_so(self, artifact_path, capsys):
+        assert obs_main(["diff", str(artifact_path),
+                         str(artifact_path)]) == 0
+        assert "no metric differences" in capsys.readouterr().out
+
+    def test_missing_artifact_exits_2(self, capsys):
+        assert obs_main(["summary", "/nonexistent/obs.json"]) == 2

@@ -14,6 +14,8 @@ import urllib.request
 
 import pytest
 
+from repro.obs import TELEMETRY
+from repro.obs.metrics import parse_prometheus
 from repro.server import JobService, QueueFullError, create_server
 from repro.server.service import JOB_STATES
 
@@ -92,6 +94,33 @@ class TestJobLifecycle:
             {"kind": "kernel", "size": "tiny", "seed": 13})
         _wait_done(running_service, [record])
         assert running_service.artifact(record.id) is None
+
+    def test_durations_come_from_the_monotonic_clock(self, running_service):
+        record = running_service.submit_spec(
+            {"kind": "kernel", "size": "tiny", "seed": 14})
+        _wait_done(running_service, [record])
+        data = record.as_dict()
+        # Wall stamps are kept for display; the duration fields are
+        # monotonic differences and so can never be negative, even if the
+        # wall clock stepped backwards mid-job.
+        assert data["queue_wait_s"] >= 0
+        assert data["run_s"] >= 0
+        assert record.finished_mono >= record.started_mono \
+            >= record.submitted_mono
+        assert running_service.metrics()["uptime_s"] >= 0
+
+    def test_prometheus_exposition_parses_and_matches_json(
+            self, running_service):
+        text = running_service.prometheus_metrics()
+        samples = parse_prometheus(text)
+        values = {(name, tuple(sorted(labels.items()))): value
+                  for name, labels, value in samples}
+        snapshot = running_service.metrics()
+        assert values[("repro_server_jobs_submitted_total", ())] \
+            == snapshot["jobs"]["submitted"]
+        for state, count in snapshot["jobs"]["by_state"].items():
+            assert values[("repro_server_jobs_by_state",
+                           (("state", state),))] == count
 
     def test_metrics_schema_and_fsm_aggregation(self, running_service):
         metrics = running_service.metrics()
@@ -237,6 +266,79 @@ class TestHttpServer:
         status, metrics = self._call(endpoint, "GET", "/metrics")
         assert status == 200
         assert metrics["jobs"]["by_state"]["done"] == 1
+
+    def test_prometheus_routes_over_http(self, endpoint):
+        for path in ("/metrics/prometheus", "/metrics?format=prometheus"):
+            request = urllib.request.Request(endpoint + path)
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain")
+                samples = parse_prometheus(response.read().decode())
+            assert any(name == "repro_server_uptime_seconds"
+                       for name, _, _ in samples)
+
+    def test_concurrent_metrics_reads_while_jobs_execute(self, endpoint):
+        """Schema stability under load: /metrics (JSON and Prometheus)
+        must stay well-formed while executors mutate the job table."""
+        status, reply = self._call(endpoint, "POST", "/jobs", [
+            {"kind": "kernel", "size": "tiny", "seed": 30 + offset}
+            for offset in range(4)
+        ])
+        assert status == 202 and reply["accepted"] == 4
+
+        errors = []
+        expected_keys = {"format", "queue", "jobs", "cache", "fsm",
+                         "ticks", "schedules", "pool_replacements",
+                         "started_at", "uptime_s"}
+
+        def hammer():
+            try:
+                for _ in range(20):
+                    status, metrics = self._call(endpoint, "GET", "/metrics")
+                    assert status == 200
+                    assert set(metrics) == expected_keys
+                    assert sum(metrics["jobs"]["by_state"].values()) \
+                        == metrics["jobs"]["submitted"]
+                    request = urllib.request.Request(
+                        endpoint + "/metrics/prometheus")
+                    with urllib.request.urlopen(request,
+                                                timeout=30) as response:
+                        parse_prometheus(response.read().decode())
+            except Exception as exc:  # surfaced below, with context
+                errors.append(exc)
+
+        readers = [threading.Thread(target=hammer) for _ in range(4)]
+        for reader in readers:
+            reader.start()
+        for reader in readers:
+            reader.join(timeout=120)
+        assert not errors, errors
+
+        deadline = time.monotonic() + 90
+        while True:
+            status, listing = self._call(endpoint, "GET", "/jobs")
+            if all(job["state"] in ("done", "failed")
+                   for job in listing["jobs"]):
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        assert all(job["state"] == "done" for job in listing["jobs"])
+
+    def test_telemetry_enabled_exposition_includes_request_latency(
+            self, endpoint):
+        TELEMETRY.enable()
+        try:
+            self._call(endpoint, "GET", "/jobs")
+            request = urllib.request.Request(endpoint + "/metrics/prometheus")
+            with urllib.request.urlopen(request, timeout=30) as response:
+                samples = parse_prometheus(response.read().decode())
+            routes = {labels.get("route") for name, labels, _ in samples
+                      if name == "repro_server_request_seconds_count"}
+            assert "/jobs" in routes
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
 
     def test_http_error_statuses(self, endpoint):
         status, reply = self._call(endpoint, "POST", "/jobs",

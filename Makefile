@@ -1,10 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-kernel bench-quick bench-seed bench-cosim bench-cosim-seed bench-cosim-quick bench-cosim-check conformance conformance-quick conformance-coverage dse dse-quick sweep sweep-quick server server-smoke obs-smoke quickstart
+.PHONY: test lint lint-smoke bench bench-kernel bench-quick bench-seed bench-cosim bench-cosim-seed bench-cosim-quick bench-cosim-check conformance conformance-quick conformance-coverage dse dse-quick sweep sweep-quick server server-smoke obs-smoke quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static analysis of the shipped applications; any finding (warning or
+# error) fails.  See docs/lint.md for the rule catalog.
+lint:
+	$(PYTHON) -m repro.lint --fail-on warning
+
+# CI gate: analyzer selfcheck (mutants must trip their rules, dynamic race
+# cross-check, corpus clean) plus a strict lint of apps + 10 generated
+# systems.
+lint-smoke:
+	$(PYTHON) -m repro.lint --selfcheck
+	$(PYTHON) -m repro.lint --app motor --app two-axis \
+		--seed 0 --seed 1 --seed 2 --seed 3 --seed 4 \
+		--seed 5 --seed 6 --seed 7 --seed 8 --seed 9 --fail-on warning
 
 # Both perf suites: kernel scheduling (BENCH_kernel.json) and end-to-end
 # co-simulation (BENCH_cosim.json), each merging a "current" run.

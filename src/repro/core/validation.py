@@ -8,11 +8,15 @@ the paper's methodology is meant to prevent from going unnoticed:
 * behavioural FSMs with unreachable/trap states or undeclared variables,
 * missing views for the flow about to run (HW + SW simulation views for
   co-simulation, SW synthesis views for every targeted platform).
+
+Since the :mod:`repro.lint` analyzer landed, this module is a thin
+compatibility shim: the checks run on the diagnostics engine
+(``lint_model(..., legacy_only=True)``) and the historical problem strings
+are reproduced byte-for-byte from each diagnostic's ``legacy`` text.  New
+code should call ``lint_model`` directly — it also runs the dataflow, race
+and protocol passes this API never had.
 """
 
-from repro.core.module import SoftwareModule
-from repro.core.views import MultiViewLibrary
-from repro.ir.transform import check_fsm
 from repro.utils.errors import ValidationError
 
 
@@ -20,99 +24,15 @@ def validate_model(model, library=None, platforms=(), raise_on_error=True):
     """Validate *model* and optionally its view *library*.
 
     Returns the list of problems found; raises :class:`ValidationError` when
-    *raise_on_error* is true and at least one problem exists.
+    *raise_on_error* is true and at least one problem exists.  The raised
+    error additionally carries the structured diagnostics as
+    ``exc.diagnostics``.
     """
-    problems = []
-    problems.extend(_check_behaviours(model))
-    problems.extend(_check_comm_units(model))
-    problems.extend(_check_bindings(model))
-    if library is not None:
-        problems.extend(_check_views(model, library, platforms))
+    from repro.lint import lint_model
+
+    report = lint_model(model, library=library, platforms=platforms,
+                        legacy_only=True)
+    problems = [diagnostic.legacy_text for diagnostic in report.diagnostics]
     if problems and raise_on_error:
-        raise ValidationError(problems)
-    return problems
-
-
-def _check_behaviours(model):
-    problems = []
-    for module in model.modules.values():
-        for fsm in module.behaviours():
-            for issue in check_fsm(fsm):
-                problems.append(f"module {module.name}/{fsm.name}: {issue}")
-        if isinstance(module, SoftwareModule) and len(module.behaviours()) != 1:
-            problems.append(
-                f"module {module.name}: software modules have exactly one FSM"
-            )
-    return problems
-
-
-def _check_comm_units(model):
-    problems = []
-    for unit in model.comm_units.values():
-        for issue in unit.check_ports():
-            problems.append(f"communication unit {unit.name}: {issue}")
-        for service in unit.services.values():
-            for issue in check_fsm(service.fsm):
-                problems.append(
-                    f"communication unit {unit.name}, service {service.name}: {issue}"
-                )
-        for controller in unit.controllers:
-            for issue in check_fsm(controller.fsm):
-                problems.append(
-                    f"communication unit {unit.name}, controller {controller.name}: {issue}"
-                )
-    return problems
-
-
-def _check_bindings(model):
-    problems = []
-    for module in model.modules.values():
-        for service_name in module.services_used():
-            binding = model.binding_for(module.name, service_name)
-            if binding is None:
-                problems.append(
-                    f"module {module.name}: service {service_name!r} is called but "
-                    "not bound to any communication unit"
-                )
-    for binding in model.bindings:
-        module = model.modules[binding.module]
-        if binding.service not in module.services_used():
-            problems.append(
-                f"binding {binding!r}: module {binding.module} never calls "
-                f"{binding.service!r}"
-            )
-    return problems
-
-
-def _check_views(model, library, platforms):
-    if not isinstance(library, MultiViewLibrary):
-        return [f"view library must be a MultiViewLibrary, got {type(library).__name__}"]
-    problems = []
-    # HW views are needed for services used by hardware modules; SW views for
-    # services used by software modules.
-    from repro.core.views import ViewKind
-
-    for module in model.modules.values():
-        for service_name in module.services_used():
-            binding = model.binding_for(module.name, service_name)
-            if binding is None:
-                continue  # already reported by _check_bindings
-            if module.kind == "software":
-                if not library.has(service_name, ViewKind.SW_SIM):
-                    problems.append(
-                        f"service {service_name!r}: missing SW simulation view "
-                        f"(needed by software module {module.name})"
-                    )
-                for platform in platforms:
-                    if not library.has(service_name, ViewKind.SW_SYNTH, platform):
-                        problems.append(
-                            f"service {service_name!r}: missing SW synthesis view for "
-                            f"platform {platform!r} (needed by software module {module.name})"
-                        )
-            else:
-                if not library.has(service_name, ViewKind.HW):
-                    problems.append(
-                        f"service {service_name!r}: missing HW view "
-                        f"(needed by hardware module {module.name})"
-                    )
+        raise ValidationError(problems, diagnostics=report.diagnostics)
     return problems

@@ -89,7 +89,7 @@ class CosimSession:
     def __init__(self, model, library=None, clock_period=100,
                  sw_activation_period=None, activation_policy=None,
                  validate=True, trace_signals=True, kernel="production",
-                 fsm_mode=None):
+                 fsm_mode=None, detect_races=False):
         if validate:
             validate_model(model, library=library)
         self.model = model
@@ -107,7 +107,7 @@ class CosimSession:
             )
         self.fsm_mode = fsm_mode
 
-        self.simulator = create_simulator(kernel)
+        self.simulator = create_simulator(kernel, detect_races=detect_races)
         self.trace = ServiceCallTrace()
         self.waveform = None
         self.clock = None

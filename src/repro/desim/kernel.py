@@ -165,8 +165,21 @@ class Simulator:
 
     kernel_name = "production"
 
-    def __init__(self, max_deltas=10_000):
+    def __init__(self, max_deltas=10_000, detect_races=False):
         self.max_deltas = max_deltas
+        #: when true, zero-delay writes are attributed to the running
+        #: process and same-delta multi-writer signals are logged in
+        #: :attr:`race_log` — the dynamic cross-check of the static
+        #: ``repro.lint`` RACE001 analysis.
+        self.detect_races = bool(detect_races)
+        #: race events observed so far: dicts with ``time``, ``delta``,
+        #: ``signal`` and the sorted distinct ``writers``.  Observation
+        #: state, not simulation state: excluded from ``statistics`` and
+        #: from :meth:`snapshot`, and recording never perturbs scheduling.
+        self.race_log = []
+        self._current_writer = None
+        # Zero-delay writes of the pending delta: [(signal, writer name)].
+        self._delta_writes = []
         self.now = 0
         self.delta = 0
         self.signals = {}
@@ -324,11 +337,56 @@ class Simulator:
         self.statistics["transactions"] += 1
         if delay == 0:
             self._delta_queue.append((signal, value))
+            if self.detect_races:
+                self._record_write(signal, value)
         else:
             heapq.heappush(
                 self._future, (self.now + delay, next(self._seq), signal, value)
             )
             self._next_time_dirty = True
+
+    # ---------------------------------------------------------- race detection
+
+    def _record_write(self, signal, value):
+        """Attribute a zero-delay write to the process currently running.
+
+        Force/release controls are fault-injection overlays, not drivers —
+        they never count as writers.  Writes scheduled from outside any
+        process (a testbench ``poke`` between runs) are attributed to
+        ``"<external>"``.
+        """
+        if isinstance(value, (ForceValue, ReleaseValue)):
+            return
+        self._delta_writes.append(
+            (signal, self._current_writer or "<external>"))
+
+    def _race_scan(self):
+        """Log every signal of the pending delta with >= 2 distinct writers.
+
+        Called by the delta loop immediately before the update phase, when
+        the queued transactions of one delta cycle are complete.  Delayed
+        transactions matured by ``_begin_time_point`` are deliberately not
+        tracked: the race model (like the static RACE001 analysis) covers
+        same-delta driver conflicts, where last-write-wins resolution hides
+        a nondeterministic outcome.
+        """
+        writes, self._delta_writes = self._delta_writes, []
+        per_signal = {}
+        for signal, writer in writes:
+            per_signal.setdefault(signal.name, []).append(writer)
+        for name, writers in per_signal.items():
+            distinct = sorted(set(writers))
+            if len(distinct) >= 2:
+                self.race_log.append({
+                    "time": self.now,
+                    "delta": self.delta,
+                    "signal": name,
+                    "writers": distinct,
+                })
+
+    def race_signals(self):
+        """Distinct signal names with at least one observed write race."""
+        return {event["signal"] for event in self.race_log}
 
     # -------------------------------------------------------------------- run
 
@@ -507,6 +565,8 @@ class Simulator:
         self.delta = 0
         statistics = self.statistics
         while True:
+            if self._delta_writes:
+                self._race_scan()
             changed = self._update_phase()
             runnable = self._collect_runnable(changed)
             expired = self._expired_waits()
@@ -545,6 +605,8 @@ class Simulator:
         while True:
             obs.delta_depth.observe(len(self._delta_queue))
             obs.timeout_depth.observe(self._obs_timeout_depth())
+            if self._delta_writes:
+                self._race_scan()
             begin = perf()
             changed = self._update_phase()
             updated = perf()
@@ -660,10 +722,13 @@ class Simulator:
             return
         runs = 0
         suspend = self._suspend
+        detect = self.detect_races
         for process in runnable:
             if process.finished:
                 continue
             runs += 1
+            if detect:
+                self._current_writer = process.name
             if process.is_generator:
                 condition = process.step()
                 if not process.finished:
@@ -671,6 +736,8 @@ class Simulator:
             else:
                 process.run_count += 1
                 process.func()
+        if detect:
+            self._current_writer = None
         self.statistics["process_runs"] += runs
 
     def _run_processes_obs(self, runnable, profile):
@@ -685,11 +752,14 @@ class Simulator:
             return
         runs = 0
         suspend = self._suspend
+        detect = self.detect_races
         perf = time.perf_counter
         for process in runnable:
             if process.finished:
                 continue
             runs += 1
+            if detect:
+                self._current_writer = process.name
             begin = perf()
             if process.is_generator:
                 condition = process.step()
@@ -703,6 +773,8 @@ class Simulator:
                 profile[process.name] = entry = [0, 0.0]
             entry[0] += 1
             entry[1] += perf() - begin
+        if detect:
+            self._current_writer = None
         self.statistics["process_runs"] += runs
 
     def _suspend(self, process, condition):
@@ -851,6 +923,9 @@ class Simulator:
             process.run_count = state["run_count"]
         self._delta_queue = [(self.signals[name], value)
                              for name, value in snapshot["delta_queue"]]
+        # Race observation state is not part of a snapshot (it never feeds
+        # back into scheduling); restored pending writes lose attribution.
+        self._delta_writes = []
         self._restore_pending(snapshot["pending"])
         return self
 

@@ -55,8 +55,8 @@ class ReferenceSimulator(Simulator):
 
     kernel_name = "reference"
 
-    def __init__(self, max_deltas=10_000):
-        super().__init__(max_deltas=max_deltas)
+    def __init__(self, max_deltas=10_000, detect_races=False):
+        super().__init__(max_deltas=max_deltas, detect_races=detect_races)
         # Unsorted future transactions: [(time, seq, signal, value)].
         self._ref_future = []
         # Every live suspended wait, in suspension order.
@@ -74,6 +74,8 @@ class ReferenceSimulator(Simulator):
         self.statistics["transactions"] += 1
         if delay == 0:
             self._delta_queue.append((signal, value))
+            if self.detect_races:
+                self._record_write(signal, value)
         else:
             self._ref_future.append(
                 (self.now + delay, self._next_seq(), signal, value)

@@ -28,6 +28,9 @@ class VarDecl:
         if not isinstance(dtype, DataType):
             raise ModelError(f"variable {name!r}: dtype must be a DataType, got {dtype!r}")
         self.dtype = dtype
+        #: whether the declaration carried an explicit initial value (the
+        #: lint use-before-init pass trusts explicit initialisers)
+        self.explicit_init = init is not None
         self.init = dtype.check(init) if init is not None else dtype.default
 
     def __repr__(self):

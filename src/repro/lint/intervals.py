@@ -1,0 +1,220 @@
+"""Interval evaluation of IR expressions.
+
+The dataflow and interface passes need a conservative answer to "what values
+can this expression take?".  The domain is a closed integer interval
+``(lo, hi)`` or ``None`` for *unknown* (top).  The transfer functions mirror
+the run-time semantics of :mod:`repro.ir.interp` exactly:
+
+* comparisons and boolean operators return ``0``/``1`` (Python ints),
+* truthiness is ``value != 0``,
+* ``div``/``mod`` truncate toward zero; a divisor interval containing zero
+  evaluates to *unknown* (the runtime raises),
+* enum/string values only support ``eq``/``ne`` and only fold when both
+  sides are constants — anything else is *unknown*.
+
+Because every transfer function over-approximates, a verdict of
+"definitely false" or "definitely out of range" is sound: the runtime can
+never contradict it.
+"""
+
+from repro.ir.dtypes import BitType, BitVectorType, BoolType, EnumType, IntType
+from repro.ir.expr import BinOp, Const, PortRef, UnOp, Var
+
+#: Convenience constants.
+TRUE = (1, 1)
+FALSE = (0, 0)
+BOOLEAN = (0, 1)
+
+
+def is_definitely_true(interval):
+    """Every value in *interval* is truthy (non-zero)."""
+    return interval is not None and (interval[0] > 0 or interval[1] < 0)
+
+
+def is_definitely_false(interval):
+    """Every value in *interval* is falsy (== 0)."""
+    return interval == (0, 0)
+
+
+def dtype_interval(dtype):
+    """Value interval of a declared data type (``None`` for enums)."""
+    if isinstance(dtype, (BitType, BoolType)):
+        return (0, 1)
+    if isinstance(dtype, IntType):
+        return (dtype.low, dtype.high)
+    if isinstance(dtype, BitVectorType):
+        return (0, (1 << dtype.width) - 1)
+    if isinstance(dtype, EnumType):
+        return None
+    return None
+
+
+def is_disjoint(interval, bounds):
+    """True when *interval* lies entirely outside *bounds* (both known)."""
+    if interval is None or bounds is None:
+        return False
+    return interval[1] < bounds[0] or interval[0] > bounds[1]
+
+
+def _trunc_div(a, b):
+    """Truncating integer division (mirrors interp's ``div``)."""
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _binop(op, left, right, left_expr, right_expr):
+    # Enum/string comparison: folds only for two string constants.
+    if op in ("eq", "ne"):
+        left_str = isinstance(left_expr, Const) and isinstance(left_expr.value, str)
+        right_str = isinstance(right_expr, Const) and isinstance(right_expr.value, str)
+        if left_str and right_str:
+            same = left_expr.value == right_expr.value
+            return TRUE if (same if op == "eq" else not same) else FALSE
+        if left_str or right_str:
+            return BOOLEAN
+
+    if op in ("and", "or", "xor"):
+        if op == "and":
+            if is_definitely_false(left) or is_definitely_false(right):
+                return FALSE
+            if is_definitely_true(left) and is_definitely_true(right):
+                return TRUE
+            return BOOLEAN
+        if op == "or":
+            if is_definitely_true(left) or is_definitely_true(right):
+                return TRUE
+            if is_definitely_false(left) and is_definitely_false(right):
+                return FALSE
+            return BOOLEAN
+        # xor: decided only when both sides are decided
+        left_known = is_definitely_true(left) or is_definitely_false(left)
+        right_known = is_definitely_true(right) or is_definitely_false(right)
+        if left_known and right_known:
+            value = int(is_definitely_true(left) != is_definitely_true(right))
+            return (value, value)
+        return BOOLEAN
+
+    if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+        if left is None or right is None:
+            return BOOLEAN
+        (a_lo, a_hi), (b_lo, b_hi) = left, right
+        if op == "eq":
+            if a_hi < b_lo or a_lo > b_hi:
+                return FALSE
+            if a_lo == a_hi == b_lo == b_hi:
+                return TRUE
+            return BOOLEAN
+        if op == "ne":
+            if a_hi < b_lo or a_lo > b_hi:
+                return TRUE
+            if a_lo == a_hi == b_lo == b_hi:
+                return FALSE
+            return BOOLEAN
+        if op == "lt":
+            if a_hi < b_lo:
+                return TRUE
+            if a_lo >= b_hi:
+                return FALSE
+            return BOOLEAN
+        if op == "le":
+            if a_hi <= b_lo:
+                return TRUE
+            if a_lo > b_hi:
+                return FALSE
+            return BOOLEAN
+        if op == "gt":
+            if a_lo > b_hi:
+                return TRUE
+            if a_hi <= b_lo:
+                return FALSE
+            return BOOLEAN
+        # ge
+        if a_lo >= b_hi:
+            return TRUE
+        if a_hi < b_lo:
+            return FALSE
+        return BOOLEAN
+
+    if left is None or right is None:
+        return None
+    (a_lo, a_hi), (b_lo, b_hi) = left, right
+    if op == "add":
+        return (a_lo + b_lo, a_hi + b_hi)
+    if op == "sub":
+        return (a_lo - b_hi, a_hi - b_lo)
+    if op == "mul":
+        corners = (a_lo * b_lo, a_lo * b_hi, a_hi * b_lo, a_hi * b_hi)
+        return (min(corners), max(corners))
+    if op == "min":
+        return (min(a_lo, b_lo), min(a_hi, b_hi))
+    if op == "max":
+        return (max(a_lo, b_lo), max(a_hi, b_hi))
+    if op == "div":
+        if b_lo != b_hi or b_lo == 0:
+            return None  # non-constant or zero divisor: unknown
+        corners = (_trunc_div(a_lo, b_lo), _trunc_div(a_hi, b_lo))
+        return (min(corners), max(corners))
+    if op == "mod":
+        if b_lo != b_hi or b_lo == 0:
+            return None
+        magnitude = abs(b_lo) - 1
+        if a_lo >= 0:
+            return (0, magnitude)
+        if a_hi <= 0:
+            return (-magnitude, 0)
+        return (-magnitude, magnitude)
+    return None
+
+
+def _unop(op, operand):
+    if op == "not":
+        if is_definitely_true(operand):
+            return FALSE
+        if is_definitely_false(operand):
+            return TRUE
+        return BOOLEAN
+    if operand is None:
+        return None
+    lo, hi = operand
+    if op == "neg":
+        return (-hi, -lo)
+    if op == "abs":
+        if lo >= 0:
+            return (lo, hi)
+        if hi <= 0:
+            return (-hi, -lo)
+        return (0, max(-lo, hi))
+    return None
+
+
+def eval_interval(expr, var_env=None, port_env=None, pins=None):
+    """Evaluate *expr* to an interval or ``None`` (unknown).
+
+    *var_env* / *port_env* map names to intervals (missing names are
+    unknown).  *pins* optionally overrides port values — the protocol pass
+    uses it to ask "can this guard hold while the ready window is down?".
+    """
+    var_env = var_env or {}
+    port_env = port_env or {}
+    if isinstance(expr, Const):
+        if isinstance(expr.value, bool):
+            value = int(expr.value)
+            return (value, value)
+        if isinstance(expr.value, int):
+            return (expr.value, expr.value)
+        return None  # enum literal / string
+    if isinstance(expr, Var):
+        return var_env.get(expr.name)
+    if isinstance(expr, PortRef):
+        if pins and expr.port_name in pins:
+            value = pins[expr.port_name]
+            return (value, value)
+        return port_env.get(expr.port_name)
+    if isinstance(expr, BinOp):
+        left = eval_interval(expr.left, var_env, port_env, pins)
+        right = eval_interval(expr.right, var_env, port_env, pins)
+        return _binop(expr.op, left, right, expr.left, expr.right)
+    if isinstance(expr, UnOp):
+        operand = eval_interval(expr.operand, var_env, port_env, pins)
+        return _unop(expr.op, operand)
+    return None

@@ -1,0 +1,165 @@
+"""Protocol-misuse checks (PROTO001–PROTO003).
+
+The channel protocols in :mod:`repro.comm.protocols` share a port naming
+discipline: a channel with prefix ``P`` exposes ``P DATAIN`` + ``P PUTRDY``
+(producer side), a full/space flag (``P FULL`` or ``P PFULL``), and on the
+consumer side an availability flag (``P FULL`` / ``P CAVAIL``) plus
+``P GETACK``.  The rules below are derived from the protocol FSMs
+themselves (handshake, FIFO): a correct access procedure
+
+* writes the data and raises the strobe in the same action list (the
+  controller samples ``DATAIN`` when it sees ``PUTRDY`` — data written in a
+  different delta can be lost or stale),
+* only raises ``GETACK`` on a path whose guard entails the data-available
+  window (``FULL``/``CAVAIL`` == 1),
+* only raises ``PUTRDY`` on a path that cannot execute while the channel
+  is full.
+
+The window rules are checked by *pinning* the window port to the forbidden
+value and interval-evaluating the transition's effective condition — its own
+guard conjoined with the negations of earlier sibling guards (the runtime
+scans transitions in order; an earlier call transition may or may not fire,
+so its guard is not negated).  Controllers are exempt: they implement the
+protocol and legitimately write the flags.
+"""
+
+from repro.ir.stmt import If, PortWrite
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.intervals import (
+    dtype_interval,
+    eval_interval,
+    is_definitely_false,
+    is_definitely_true,
+)
+
+_DATA_SUFFIX = "DATAIN"
+
+
+def detect_channels(unit):
+    """Channel port groups of *unit*, recognised by the naming discipline."""
+    names = set(unit.ports)
+    channels = []
+    for name in sorted(names):
+        if not name.endswith(_DATA_SUFFIX):
+            continue
+        prefix = name[: -len(_DATA_SUFFIX)]
+        strobe = f"{prefix}PUTRDY"
+        if strobe not in names:
+            continue
+        full = next(
+            (p for p in (f"{prefix}PFULL", f"{prefix}FULL") if p in names), None
+        )
+        avail = next(
+            (p for p in (f"{prefix}CAVAIL", f"{prefix}FULL") if p in names), None
+        )
+        ack = f"{prefix}GETACK"
+        channels.append({
+            "prefix": prefix,
+            "data": name,
+            "strobe": strobe,
+            "full": full,
+            "avail": avail,
+            "ack": ack if ack in names else None,
+        })
+    return channels
+
+
+def _sites(fsm):
+    """Yield ``(location, guard_parts, writes)`` per action list.
+
+    *guard_parts* is the list of expressions whose conjunction is the
+    site's effective condition (empty = unconditional, e.g. state actions,
+    which run on every step spent in the state).  *writes* maps port name
+    -> written expression (last write wins, matching run-time order).
+    """
+
+    def port_writes(stmts, into):
+        for stmt in stmts:
+            if isinstance(stmt, PortWrite):
+                into[stmt.port_name] = stmt.expr
+            elif isinstance(stmt, If):
+                port_writes(stmt.then, into)
+                port_writes(stmt.orelse, into)
+        return into
+
+    for state in fsm.iter_states():
+        if state.actions:
+            yield state.name, [], port_writes(state.actions, {})
+        negated = []
+        blocked = False
+        for index, transition in enumerate(state.transitions):
+            if not blocked and transition.actions:
+                parts = list(negated)
+                if transition.guard is not None:
+                    parts.append(transition.guard)
+                yield (f"{state.name}/t{index}", parts,
+                       port_writes(transition.actions, {}))
+            if transition.call is None:
+                if transition.guard is None:
+                    blocked = True  # later transitions never execute
+                else:
+                    negated.append(("not", transition.guard))
+
+
+def _condition_possible(parts, var_env, port_env, pins):
+    """Can the conjunction of *parts* hold under *pins*?  Conservative: yes
+    unless some part is definitely false (a ``("not", g)`` part is false
+    when g is definitely true)."""
+    for part in parts:
+        if isinstance(part, tuple):
+            interval = eval_interval(part[1], var_env, port_env, pins)
+            if is_definitely_true(interval):
+                return False
+        else:
+            interval = eval_interval(part, var_env, port_env, pins)
+            if is_definitely_false(interval):
+                return False
+    return True
+
+
+def protocol_pass(unit, report, path_base):
+    """Run PROTO001–PROTO003 over every service FSM of *unit*."""
+    channels = detect_channels(unit)
+    if not channels:
+        return
+    port_env = {name: dtype_interval(port.dtype)
+                for name, port in unit.ports.items()}
+    for service in unit.services.values():
+        fsm = service.fsm
+        var_env = {name: dtype_interval(decl.dtype)
+                   for name, decl in fsm.variables.items()}
+        path = f"{path_base}/service/{service.name}"
+        for location, parts, writes in _sites(fsm):
+            where = f"{path}/{location}"
+            for channel in channels:
+                data, strobe = channel["data"], channel["strobe"]
+                if data in writes and strobe not in writes:
+                    report.add(Diagnostic(
+                        "PROTO001", "warning", where,
+                        f"writes channel data {data!r} without strobing "
+                        f"{strobe!r} in the same action list",
+                        data={"channel": channel["prefix"]},
+                    ))
+                ack = channel["ack"]
+                if (ack and channel["avail"] and ack in writes
+                        and is_definitely_true(
+                            eval_interval(writes[ack], var_env, port_env))
+                        and _condition_possible(
+                            parts, var_env, port_env, {channel["avail"]: 0})):
+                    report.add(Diagnostic(
+                        "PROTO002", "error", where,
+                        f"raises {ack!r} on a path that does not require the "
+                        f"data-available window ({channel['avail']!r} == 1)",
+                        data={"channel": channel["prefix"]},
+                    ))
+                if (channel["full"] and strobe in writes
+                        and is_definitely_true(
+                            eval_interval(writes[strobe], var_env, port_env))
+                        and _condition_possible(
+                            parts, var_env, port_env, {channel["full"]: 1})):
+                    report.add(Diagnostic(
+                        "PROTO003", "error", where,
+                        f"may raise {strobe!r} while the channel is full "
+                        f"({channel['full']!r} == 1)",
+                        data={"channel": channel["prefix"]},
+                    ))

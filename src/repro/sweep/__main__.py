@@ -106,17 +106,18 @@ def build_jobs(args, parser):
         jobs.append(CosimJob(args.seed_base + offset, networks=args.networks,
                              kernel=args.sim_kernel, until=args.until,
                              checkpoint_at=args.checkpoint_at,
-                             coverage=args.coverage))
+                             coverage=args.coverage, no_lint=args.no_lint))
         for kind in args.fault_kinds or ():
             jobs.append(CosimJob(args.seed_base + offset,
                                  networks=args.networks,
                                  kernel=args.sim_kernel,
                                  coverage=args.coverage,
-                                 fault_kind=kind))
+                                 fault_kind=kind, no_lint=args.no_lint))
     for offset in range(cosyn_jobs):
         for platform in args.platforms:
             jobs.append(CosynJob(args.seed_base + offset,
-                                 networks=args.networks, platform=platform))
+                                 networks=args.networks, platform=platform,
+                                 no_lint=args.no_lint))
     return jobs
 
 
@@ -205,6 +206,9 @@ def main(argv=None):
                        choices=FAULT_KINDS, default=None,
                        help="additionally run each cosim seed under these "
                             f"fault kinds (choices: {', '.join(FAULT_KINDS)})")
+    shape.add_argument("--no-lint", action="store_true",
+                       help="skip the lint pre-flight on cosim/cosyn jobs "
+                            "(error-level findings otherwise refuse the job)")
     parser.add_argument("--workers", type=int, default=4,
                         help="worker processes (default 4; 1 = serial)")
     parser.add_argument("--cache-dir", metavar="DIR",

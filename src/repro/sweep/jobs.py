@@ -34,6 +34,30 @@ deterministic report entry and *payload* the cacheable artefact (or None).
 from repro.utils.canonical import content_digest
 
 
+def _lint_preflight(model, no_lint):
+    """Lint *model* before running a job; returns the report summary dict.
+
+    Error-level findings abort the job with a
+    :class:`~repro.utils.errors.ValidationError` (surfacing as the job's
+    error record) unless *no_lint* is set, in which case the lint step is
+    skipped entirely and ``None`` is recorded.  Warnings never refuse a
+    job; they are visible in the recorded summary.
+    """
+    if no_lint:
+        return None
+    from repro.lint import lint_model
+    from repro.utils.errors import ValidationError
+
+    report = lint_model(model)
+    errors = report.errors
+    if errors:
+        raise ValidationError(
+            [diagnostic.legacy_text for diagnostic in errors],
+            diagnostics=errors,
+        )
+    return report.summary()
+
+
 class SweepJob:
     """Base class: identity, naming and error records shared by all kinds."""
 
@@ -128,7 +152,7 @@ class CosimJob(SweepJob):
 
     def __init__(self, seed, networks=None, kernel="production", until=None,
                  checkpoint_at=None, fsm_mode=None, coverage=False,
-                 fault_kind=None, fault_unit_index=0):
+                 fault_kind=None, fault_unit_index=0, no_lint=False):
         self.seed = int(seed)
         self.networks = None if networks is None else int(networks)
         self.kernel = kernel
@@ -155,6 +179,7 @@ class CosimJob(SweepJob):
                                  f"available: {FAULT_KINDS}")
         self.fault_kind = fault_kind
         self.fault_unit_index = int(fault_unit_index)
+        self.no_lint = bool(no_lint)
         # Coverage maps are deterministic and reasonably sized, so a
         # coverage-collecting run is worth caching: the record plus the
         # serialized map become the payload.
@@ -172,6 +197,7 @@ class CosimJob(SweepJob):
             "coverage": self.coverage,
             "fault_kind": self.fault_kind,
             "fault_unit_index": self.fault_unit_index,
+            "no_lint": self.no_lint,
         }
 
     @property
@@ -212,6 +238,7 @@ class CosimJob(SweepJob):
         from repro.testkit.scenarios import FAULT_MAX_TIME
 
         system = generate_system(self.seed, networks=self.networks)
+        lint = _lint_preflight(system.build_model(), self.no_lint)
         coverage = CoverageMap() if self.coverage else None
         session = self._session(system)
         if coverage is not None:
@@ -252,6 +279,9 @@ class CosimJob(SweepJob):
             ),
             "fault_survival": (not problems if self.fault_kind is not None
                                and self.until is None else None),
+            # Lint pre-flight summary (None when skipped via no_lint); an
+            # error-level finding never reaches here — the job refuses.
+            "lint": lint,
         })
         payload = None
         if coverage is not None:
@@ -291,12 +321,13 @@ class CosynJob(SweepJob):
     cacheable = True
 
     def __init__(self, seed, networks=None, platform="pc_at_fpga",
-                 hw_modules=None):
+                 hw_modules=None, no_lint=False):
         self.seed = int(seed)
         self.networks = None if networks is None else int(networks)
         self.platform = platform
         self.hw_modules = (None if hw_modules is None
                            else sorted(str(name) for name in hw_modules))
+        self.no_lint = bool(no_lint)
 
     def spec(self):
         return {
@@ -305,6 +336,7 @@ class CosynJob(SweepJob):
             "networks": self.networks,
             "platform": self.platform,
             "hw_modules": self.hw_modules,
+            "no_lint": self.no_lint,
         }
 
     @property
@@ -322,8 +354,13 @@ class CosynJob(SweepJob):
         model = system.build_model()
         if self.hw_modules is not None:
             model = repartition(model, self.hw_modules)
+        # Lint the model actually synthesized (post-repartition): the
+        # summary travels in the payload so a cache-served record carries
+        # the same lint evidence as a fresh one.
+        lint = _lint_preflight(model, self.no_lint)
         result = CosynthesisFlow(model, get_platform(self.platform)).run()
         payload = result.as_dict(include_text=True)
+        payload["lint"] = lint
         return self.record_from_payload(payload, cached=False), payload
 
     def record_from_payload(self, payload, cached):
@@ -336,6 +373,7 @@ class CosynJob(SweepJob):
             "system_clock_ns": payload["system_clock_ns"],
             "hardware_modules": sorted(payload["hardware"]),
             "software_modules": sorted(payload["software"]),
+            "lint": payload.get("lint"),
             "artifact_digest": content_digest(payload),
             "cached": cached,
         })

@@ -23,6 +23,7 @@ import random
 from repro.comm import fifo_channel, handshake_channel, shared_register_channel
 from repro.core import HardwareModule, SoftwareModule, SystemModel
 from repro.ir import INT, Assign, FsmBuilder, var
+from repro.ir.dtypes import word_type
 
 #: Channel kinds with their factory and losslessness.
 CHANNEL_KINDS = {
@@ -78,7 +79,9 @@ def _consumer_fsm(name, service, words):
     accumulate = [Assign("TOTAL", var("TOTAL") + var("RX")),
                   Assign("RECEIVED", var("RECEIVED") + 1)]
     build = FsmBuilder(name)
-    build.variable("RX", INT, 0)
+    # RX receives a channel word; its declared range must cover the get
+    # service's return type (lint IF007).
+    build.variable("RX", word_type(16), 0)
     build.variable("TOTAL", INT, 0)
     build.variable("RECEIVED", INT, 0)
     with build.state("Receive") as state:
@@ -93,7 +96,7 @@ def _consumer_fsm(name, service, words):
 
 def _relay_fsm(name, get_service, put_service, words):
     build = FsmBuilder(name)
-    build.variable("RX", INT, 0)
+    build.variable("RX", word_type(16), 0)
     build.variable("COUNT", INT, 0)
     with build.state("Receive") as state:
         state.call(get_service, store="RX", then="Forward")

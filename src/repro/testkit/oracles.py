@@ -2,7 +2,9 @@
 
 Two oracles, one per flow of the paper's Figure 1:
 
-* :func:`check_cosim_conformance` — runs a generated system through
+* :func:`check_cosim_conformance` — lints the generated model
+  (:func:`repro.lint.lint_model` pre-flight: error-level findings fail the
+  oracle before any run), then runs the system through
   :class:`~repro.cosim.session.CosimSession` four times (production kernel
   twice, reference kernel twice) and checks
 
@@ -27,6 +29,7 @@ prefixed with the generated system's name so a failure pins its seed.
 from repro.cosim import CosimSession
 from repro.cosyn import CosynthesisFlow
 from repro.ir.interp import DEFAULT_FSM_MODE
+from repro.lint import lint_model
 from repro.platforms import get_platform
 
 #: Generous completion horizon: generated systems transfer < 20 words.
@@ -171,11 +174,22 @@ def check_cosim_conformance(system, kernels=("production", "reference"),
              else (fsm_mode,))
     variants = [(kernel, mode) for kernel in kernels for mode in modes]
 
+    # Lint pre-flight: a generated system must be free of error-level
+    # findings before any simulation is trusted (warnings are tolerated —
+    # the generator corpus is expected to stay warning-free, but a warning
+    # must not fail the oracle for every sweep consumer).
+    problems = [
+        f"{system.name}: lint {diagnostic.rule}: "
+        f"{diagnostic.path}: {diagnostic.message}"
+        for diagnostic in lint_model(system.build_model()).errors
+    ]
+    if problems:
+        return problems
+
     def label(variant):
         kernel, mode = variant
         return kernel if len(modes) == 1 else f"{kernel}/{mode}"
 
-    problems = []
     fingerprints = {}
     sessions = {}
     for variant in variants:

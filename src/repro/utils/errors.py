@@ -14,10 +14,17 @@ class ModelError(ReproError):
 
 
 class ValidationError(ModelError):
-    """Model validation failed; carries the list of individual problems."""
+    """Model validation failed; carries the list of individual problems.
 
-    def __init__(self, problems):
+    *problems* are the human-readable strings the validator has always
+    reported; *diagnostics* optionally carries the structured
+    :class:`repro.lint.Diagnostic` objects behind them (empty for errors
+    raised from plain string lists).  ``str(exc)`` is unchanged.
+    """
+
+    def __init__(self, problems, diagnostics=()):
         self.problems = list(problems)
+        self.diagnostics = list(diagnostics)
         joined = "; ".join(self.problems) if self.problems else "unknown problem"
         super().__init__(f"model validation failed: {joined}")
 

@@ -1,0 +1,163 @@
+"""Cross-check of the static race analysis against the dynamic detector.
+
+The contract: the static RACE001 write-set analysis over-approximates the
+dynamic detector — any same-delta multi-writer event a
+``detect_races=True`` simulation records involves a signal the static
+analysis already flagged (static ⊇ dynamic).  The generated conformance
+corpus is race-free, so the inclusion is exercised both ways: clean seeds
+must stay dynamically silent, and the duplicate-writer mutant must race
+both statically and dynamically.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cosim import CosimSession
+from repro.desim import create_simulator
+from repro.lint.races import collect_write_contexts, static_race_signals
+from repro.lint.selfcheck import build_dup_writer_model
+from repro.testkit.models import generate_system
+from repro.testkit.oracles import run_session_to_completion
+
+KERNELS = ("production", "reference")
+
+
+def _run_with_detection(system, kernel):
+    session = CosimSession(system.build_model(), kernel=kernel,
+                           detect_races=True, **system.cosim_params)
+    run_session_to_completion(session, system.expectations)
+    return session.simulator
+
+
+class TestKernelDetector:
+    """Unit-level behaviour of ``Simulator(detect_races=True)``."""
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_same_delta_multi_write_logged(self, kernel):
+        sim = create_simulator(kernel, detect_races=True)
+        clk = sim.add_clock("clk", period=10)
+        sig = sim.add_signal("shared", init=0)
+
+        def writer(value):
+            def proc():
+                if clk.value == 1:
+                    sim.schedule(sig, value, 0)
+            return proc
+
+        sim.add_process("w_a", writer(1), sensitivity=[clk], initial_run=False)
+        sim.add_process("w_b", writer(2), sensitivity=[clk], initial_run=False)
+        sim.run(until=40)
+        assert sim.race_signals() == {"shared"}
+        event = sim.race_log[0]
+        assert event["writers"] == ["w_a", "w_b"]
+        assert set(event) == {"time", "delta", "signal", "writers"}
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_single_writer_and_delayed_writes_do_not_race(self, kernel):
+        sim = create_simulator(kernel, detect_races=True)
+        clk = sim.add_clock("clk", period=10)
+        sig = sim.add_signal("s", init=0)
+
+        def toggle():
+            if clk.value == 1:
+                sim.schedule(sig, 1 - sig.value, 0)
+
+        sim.add_process("solo", toggle, sensitivity=[clk], initial_run=False)
+        # A delayed transaction landing in the same update phase is ordinary
+        # scheduling, not a same-delta driver conflict.
+        sim.poke("s", 7, delay=15)
+        sim.run(until=60)
+        assert sim.race_signals() == set()
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_force_release_never_counts_as_writer(self, kernel):
+        sim = create_simulator(kernel, detect_races=True)
+        clk = sim.add_clock("clk", period=10)
+        sig = sim.add_signal("s", init=0)
+
+        def drive():
+            if clk.value == 1:
+                sim.schedule(sig, 1, 0)
+                sim.force("s", 5)
+
+        sim.add_process("drv", drive, sensitivity=[clk], initial_run=False)
+        sim.run(until=40)
+        assert sim.race_signals() == set()
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_detection_off_by_default(self, kernel):
+        sim = create_simulator(kernel)
+        assert sim.detect_races is False
+        clk = sim.add_clock("clk", period=10)
+        sig = sim.add_signal("shared", init=0)
+        for name, value in (("w_a", 1), ("w_b", 2)):
+            def writer(v=value):
+                if clk.value == 1:
+                    sim.schedule(sig, v, 0)
+            sim.add_process(name, writer, sensitivity=[clk], initial_run=False)
+        sim.run(until=40)
+        assert sim.race_log == []
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_external_poke_attributed_as_external(self, kernel):
+        sim = create_simulator(kernel, detect_races=True)
+        clk = sim.add_clock("clk", period=10)
+        sig = sim.add_signal("s", init=0)
+
+        def drive():
+            if clk.value == 1:
+                sim.schedule(sig, 1, 0)
+
+        sim.add_process("drv", drive, sensitivity=[clk], initial_run=False)
+        sim.run(until=14)
+        sim.poke("s", 9)  # zero-delay testbench write between runs
+        sim.run(until=15)
+        writers = {w for e in sim.race_log for w in e["writers"]}
+        assert "<external>" in writers or sim.race_log == []
+
+
+class TestStaticDynamicInclusion:
+    """Static RACE001 findings ⊇ dynamic findings, corpus-wide."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_clean_seed_stays_dynamically_silent(self, seed, kernel):
+        system = generate_system(seed)
+        static = static_race_signals(system.build_model())
+        assert static == set()  # generator corpus passes static race lint
+        simulator = _run_with_detection(system, kernel)
+        assert simulator.race_signals() <= static, simulator.race_log
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_dup_writer_positive_control(self, kernel):
+        model = build_dup_writer_model()
+        static = static_race_signals(model)
+        assert static  # both producers drive the channel's put-side ports
+        session = CosimSession(build_dup_writer_model(), kernel=kernel,
+                               detect_races=True)
+        session.run(until=5_000)
+        dynamic = session.simulator.race_signals()
+        assert dynamic  # the detector actually observes the conflict
+        assert dynamic <= static
+
+    def test_static_contexts_cover_all_clocked_writers(self):
+        contexts = collect_write_contexts(build_dup_writer_model())
+        groups = {context["group"] for context in contexts}
+        assert groups <= {"clocked", "activation"}
+        names = {context["path"] for context in contexts}
+        assert any("ProdA" in name for name in names)
+        assert any("ProdB" in name for name in names)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=10, max_value=120),
+       kernel=st.sampled_from(KERNELS))
+def test_property_static_race_lint_implies_no_dynamic_race(seed, kernel):
+    """A system passing the static race lint never trips ``detect_races``."""
+    system = generate_system(seed)
+    static = static_race_signals(system.build_model())
+    if static:  # pragma: no cover - generator corpus is race-free
+        return
+    simulator = _run_with_detection(system, kernel)
+    assert simulator.race_signals() == set(), simulator.race_log

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-smoke bench bench-kernel bench-quick bench-seed bench-cosim bench-cosim-seed bench-cosim-quick bench-cosim-check conformance conformance-quick conformance-coverage dse dse-quick sweep sweep-quick server server-smoke obs-smoke quickstart
+.PHONY: test lint lint-smoke bench bench-kernel bench-quick bench-seed bench-cosim bench-cosim-seed bench-cosim-quick bench-cosim-check conformance conformance-quick conformance-differential conformance-coverage dse dse-quick sweep sweep-quick server server-smoke obs-smoke quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,9 +37,11 @@ bench-quick:
 bench-seed:
 	$(PYTHON) -m benchmarks.perf --label seed --repeats 2
 
-# Full cosim perf sweep on the compiled FSM tier; merges "current" into
-# BENCH_cosim.json (acceptance: >= 5x vs the interpreted seed on the
-# transition-rate workload's largest point).
+# Full cosim perf sweep on the compiled FSM tier inside the fused
+# whole-system program; merges "current" into BENCH_cosim.json
+# (acceptance: >= 5x vs the interpreted seed on the largest
+# transition-rate AND mixed-system points, plus >= 3x batched-vs-
+# sequential amortization on the recorded batch section).
 bench-cosim:
 	$(PYTHON) -m benchmarks.perf.cosim --label current --repeats 2
 
@@ -52,7 +54,10 @@ bench-cosim-quick:
 	$(PYTHON) -m benchmarks.perf.cosim --quick --label quick --no-write
 
 # CI regression gate: quick cosim tier must stay within 2x of the recorded
-# quick-baseline label in BENCH_cosim.json.
+# quick-baseline label in BENCH_cosim.json (refused if the baseline was
+# recorded on a different fsm/system tier), every fast path must actually
+# be taken, the batched amortization must hold its threshold, and the
+# file's recorded acceptance verdict must be passing.
 bench-cosim-check:
 	$(PYTHON) -m benchmarks.perf.cosim --quick --check
 
@@ -64,6 +69,11 @@ conformance:
 # < 30 s smoke tier of the same kit (also exercised by the test suite).
 conformance-quick:
 	$(PYTHON) -m repro.testkit --quick
+
+# Whole-system tier oracle: every quick scenario byte-identical across the
+# fused, per-FSM and interpreted system tiers on both kernels.
+conformance-differential:
+	$(PYTHON) -m repro.testkit --quick --system-mode differential
 
 # Coverage-directed campaign: 24 novelty-weighted scenarios (plain, fault
 # injection, platform-timed real-time) sharing one coverage map; fails

@@ -7,17 +7,23 @@ and merges labelled runs into ``BENCH_cosim.json`` (same file format as
 scale — modules or networks).  Typical sequence::
 
     python -m benchmarks.perf.cosim --label seed --fsm-mode interpreted
-    python -m benchmarks.perf.cosim --label current          # compiled tier
+    python -m benchmarks.perf.cosim --label current     # compiled + fused
     python -m benchmarks.perf.cosim --quick --label quick-baseline
-    python -m benchmarks.perf.cosim --quick --check          # CI gate
+    python -m benchmarks.perf.cosim --quick --check     # CI gate
 
-``seed`` is recorded with the interpreted tier (the pre-compile-tier
-behaviour) and ``current`` with the compiled tier, so the file's speedup
-table *is* the compile tier's win; the acceptance criterion demands
-:data:`ACCEPTANCE_THRESHOLD` x on the transition-rate workload's largest
-point.  ``--check`` re-times the quick tier and fails when any point is
-more than ``--max-slowdown`` slower than the recorded baseline label —
-the CI regression gate.
+``seed`` is recorded with the fully interpreted tiers (the pre-compile
+behaviour: ``--fsm-mode interpreted`` implies the interpreted system tier)
+and ``current`` with the compiled per-FSM tier inside the fused
+whole-system program (:mod:`repro.ir.syscompile`), so the file's speedup
+table *is* the compilation win.  The acceptance criteria demand
+:data:`ACCEPTANCE_POINTS` — the transition-rate workload's largest point
+**and** the mixed-system workload's largest point — plus the batched
+multi-scenario amortization of :data:`BATCH_THRESHOLD` x recorded in each
+run's ``batch`` section.  ``--check`` re-times the quick tier and fails
+when any point is more than ``--max-slowdown`` slower than the recorded
+baseline label, when a fast path was silently lost, when the batch
+speedup falls under its threshold, or when the file's recorded acceptance
+verdict itself is failing — the CI regression gate.
 """
 
 import argparse
@@ -29,12 +35,21 @@ from pathlib import Path
 
 from benchmarks.perf.cosim_workloads import COSIM_WORKLOADS
 from benchmarks.perf.harness import update_bench_file
+from repro.ir.syscompile import DEFAULT_SYSTEM_MODE
 
-#: Required speedup of ``current`` (compiled) over ``seed`` (interpreted).
-ACCEPTANCE_THRESHOLD = 5.0
+#: The gated (workload, scale, required speedup) acceptance points of
+#: ``current`` (compiled + fused) over ``seed`` (interpreted).
+ACCEPTANCE_POINTS = [
+    ("transition_rate", 32, 5.0),
+    ("mixed_system", 8, 5.0),
+]
 
-#: The (workload, scale) point the acceptance criterion is read from.
-ACCEPTANCE_POINT = ("transition_rate", 32)
+#: Batched multi-scenario execution: generator seed, scenario counts and
+#: the required batched-over-sequential speedup (ISSUE acceptance).
+BATCH_SEED = 9
+BATCH_SCENARIOS = 1000
+BATCH_QUICK_SCENARIOS = 40
+BATCH_THRESHOLD = 3.0
 
 #: Tolerated wall-clock ratio of a quick --check run vs. the recorded
 #: baseline before the gate fails (absorbs runner-hardware variance).
@@ -44,23 +59,40 @@ DEFAULT_BASELINE_LABEL = "quick-baseline"
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parents[2] / "BENCH_cosim.json"
 
-SCHEMA = "bench-cosim/1"
+SCHEMA = "bench-cosim/2"
 
 
-def time_cosim_point(workload, size, fsm_mode, quick=False, repeats=1):
+def resolve_system_mode(fsm_mode, system_mode=None):
+    """The system tier a run uses when none is requested explicitly.
+
+    An interpreted-FSM run means the *whole* stack runs on the oracle
+    tiers (that is what the ``seed`` label records), so the system tier
+    follows the FSM tier down; otherwise the project default applies.
+    """
+    if system_mode is not None:
+        return system_mode
+    return "interpreted" if fsm_mode == "interpreted" else DEFAULT_SYSTEM_MODE
+
+
+def time_cosim_point(workload, size, fsm_mode, system_mode=None, quick=False,
+                     repeats=1):
     """Time one (workload, scale) point; returns a result dict.
 
-    The session is prepared — model built, signals registered, FSM programs
-    compiled — outside the timed region; only the simulation run is timed.
-    With *repeats* > 1 the minimum wall-clock is kept.
+    The session is prepared — model built, signals registered, FSM and
+    whole-system programs compiled — outside the timed region; only the
+    simulation run is timed.  With *repeats* > 1 the minimum wall-clock is
+    kept.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    system_mode = resolve_system_mode(fsm_mode, system_mode)
     best = None
     statistics = None
     counters = None
+    tier = None
     for _ in range(repeats):
-        session, run = workload.prepare(size, fsm_mode, quick=quick)
+        session, run = workload.prepare(size, fsm_mode,
+                                        system_mode=system_mode, quick=quick)
         start = time.perf_counter()
         run()
         elapsed = time.perf_counter() - start
@@ -68,10 +100,12 @@ def time_cosim_point(workload, size, fsm_mode, quick=False, repeats=1):
             best = elapsed
             statistics = dict(session.simulator.statistics)
             counters = session.fsm_counters()
+            tier = session.system_tier
     return {
         "workload": workload.name,
         "n_processes": size,
         "fsm_mode": fsm_mode,
+        "system_mode": tier,
         "sim_ns": session.simulator.now,
         "wall_s": best,
         "statistics": statistics,
@@ -79,31 +113,97 @@ def time_cosim_point(workload, size, fsm_mode, quick=False, repeats=1):
     }
 
 
-def run_cosim_suite(quick=False, fsm_mode="compiled", repeats=1,
-                    workloads=None, progress=None):
-    """Run every cosim workload over its scale sweep; returns a run dict."""
+def time_batch_point(quick=False, scenarios=None):
+    """Batched vs. sequential execution of the same generated system.
+
+    Runs :data:`BATCH_SEED`'s scenario *scenarios* times as independent
+    ``CosimJob`` executions and once as a single ``CosimJob(batch=N)``,
+    both under the project-default tiers, and reports the amortization
+    speedup.  ``identical`` asserts the batched per-scenario fingerprints
+    are byte-identical to the sequential ones — the speedup is only
+    meaningful while that holds.
+    """
+    from repro.sweep.jobs import CosimJob
+
+    count = (scenarios if scenarios is not None
+             else (BATCH_QUICK_SCENARIOS if quick else BATCH_SCENARIOS))
+    # Warm the per-process caches (FSM programs, generator corpus) outside
+    # the timed region: both variants then start from the same state a
+    # long-running sweep worker would be in.
+    CosimJob(BATCH_SEED).execute()
+    start = time.perf_counter()
+    sequential = [CosimJob(BATCH_SEED).execute()[0] for _ in range(count)]
+    sequential_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    record, _ = CosimJob(BATCH_SEED, batch=count).execute()
+    batch_wall = time.perf_counter() - start
+    identical = (
+        [entry["fingerprint_digest"] for entry in record["scenarios"]]
+        == [entry["fingerprint_digest"] for entry in sequential]
+    )
+    return {
+        "seed": BATCH_SEED,
+        "scenarios": count,
+        "system_mode": record["system_mode"],
+        "sequential_wall_s": sequential_wall,
+        "batch_wall_s": batch_wall,
+        "speedup": (round(sequential_wall / batch_wall, 2)
+                    if batch_wall > 0 else float("inf")),
+        "threshold": BATCH_THRESHOLD,
+        "identical": identical,
+    }
+
+
+def run_cosim_suite(quick=False, fsm_mode="compiled", system_mode=None,
+                    repeats=1, workloads=None, progress=None,
+                    include_batch=None):
+    """Run every cosim workload over its scale sweep; returns a run dict.
+
+    *include_batch* adds the batched-execution point (default: whenever the
+    compiled tier is benchmarked — the batch path always runs the project
+    defaults, so measuring it inside an interpreted seed run would be
+    misleading).
+    """
+    system_mode = resolve_system_mode(fsm_mode, system_mode)
     results = []
     for workload in (workloads or COSIM_WORKLOADS):
         sizes = workload.quick_sizes if quick else workload.sizes
         for size in sizes:
-            point = time_cosim_point(workload, size, fsm_mode, quick=quick,
+            point = time_cosim_point(workload, size, fsm_mode,
+                                     system_mode=system_mode, quick=quick,
                                      repeats=repeats)
             results.append(point)
             if progress is not None:
                 progress(
                     f"{workload.name:<16} n={size:<4} mode={fsm_mode:<11} "
+                    f"system={point['system_mode']:<8} "
                     f"wall={point['wall_s']:.4f}s "
                     f"fsm_steps={point['fsm']['steps']}"
                 )
-    return {
+    run = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "quick": bool(quick),
         "fsm_mode": fsm_mode,
+        "system_mode": system_mode,
         "repeats": repeats,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "results": results,
     }
+    if include_batch is None:
+        include_batch = fsm_mode == "compiled"
+    if include_batch:
+        batch = time_batch_point(quick=quick)
+        run["batch"] = batch
+        if progress is not None:
+            progress(
+                f"batch            n={batch['scenarios']:<4} "
+                f"seq={batch['sequential_wall_s']:.4f}s "
+                f"batch={batch['batch_wall_s']:.4f}s "
+                f"x{batch['speedup']:.2f} "
+                f"{'identical' if batch['identical'] else 'DIVERGED'}"
+            )
+    return run
 
 
 def check_against_baseline(baseline_run, run, max_slowdown=DEFAULT_MAX_SLOWDOWN):
@@ -135,6 +235,33 @@ def check_against_baseline(baseline_run, run, max_slowdown=DEFAULT_MAX_SLOWDOWN)
     return ok, lines
 
 
+def check_fast_paths(run):
+    """Counter-based (hardware-independent) gate lines; returns (ok, lines).
+
+    With the fused system tier, every point must report zero runtime
+    delegation (``system_fallback``) and nonzero fused activity; with the
+    plain compiled tier, zero interpreter fallback and nonzero compiled
+    activity.  A lost fast path fails the gate even when the wall-clock
+    ratio happens to still look green.
+    """
+    ok = True
+    lines = []
+    for point in run.get("results", ()):
+        counters = point["fsm"]
+        prefix = f"{point['workload']:<16} n={point['n_processes']:<4}"
+        if point.get("system_mode") == "fused":
+            if (counters["system_fallback"]
+                    or not counters["system_compile_hits"]
+                    or counters["fallback"]):
+                ok = False
+                lines.append(f"{prefix} lost the fused fast path: {counters}")
+        elif point.get("fsm_mode") == "compiled":
+            if counters["fallback"] or not counters["compile_hits"]:
+                ok = False
+                lines.append(f"{prefix} lost the compiled fast path: {counters}")
+    return ok, lines
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf.cosim",
@@ -148,6 +275,11 @@ def main(argv=None):
     parser.add_argument("--fsm-mode", default="compiled",
                         choices=("compiled", "interpreted"),
                         help="FSM execution tier to benchmark")
+    parser.add_argument("--system-mode", default=None,
+                        choices=("fused", "per-fsm", "interpreted"),
+                        help="whole-system execution tier (default: fused "
+                             "for compiled runs, interpreted for "
+                             "interpreted runs)")
     parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
                         help="result JSON path (default: repo-root "
                              "BENCH_cosim.json)")
@@ -160,7 +292,10 @@ def main(argv=None):
     parser.add_argument("--check", action="store_true",
                         help="regression gate: run the quick tier and fail "
                              "when any point is more than --max-slowdown "
-                             "slower than the recorded baseline label")
+                             "slower than the recorded baseline label, a "
+                             "fast path was lost, the batch speedup is "
+                             "under threshold, or the file's recorded "
+                             "acceptance verdict is failing")
     parser.add_argument("--baseline-label", default=DEFAULT_BASELINE_LABEL,
                         help="label --check compares against (default: "
                              f"{DEFAULT_BASELINE_LABEL})")
@@ -171,6 +306,7 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error(f"--repeats must be >= 1, got {args.repeats}")
+    system_mode = resolve_system_mode(args.fsm_mode, args.system_mode)
 
     if args.check:
         path = Path(args.output)
@@ -194,6 +330,16 @@ def main(argv=None):
                   f"{args.fsm_mode!r}; re-record the baseline",
                   file=sys.stderr)
             return 1
+        baseline_system = baseline_run.get("system_mode")
+        if baseline_system != system_mode:
+            # Same refusal for the whole-system tier: a pre-fused baseline
+            # (or one recorded per-FSM) is not wall-comparable to a fused
+            # check run.
+            print(f"error: baseline '{args.baseline_label}' was recorded "
+                  f"with system_mode={baseline_system!r}, the check runs "
+                  f"{system_mode!r}; re-record the baseline",
+                  file=sys.stderr)
+            return 1
         if not baseline_run.get("quick"):
             # A full-tier baseline does ~10x the quick tier's work per
             # point, which would make every ratio trivially green.
@@ -202,20 +348,52 @@ def main(argv=None):
                   f"--quick --label {args.baseline_label}", file=sys.stderr)
             return 1
         run = run_cosim_suite(quick=True, fsm_mode=args.fsm_mode,
+                              system_mode=system_mode,
                               repeats=max(args.repeats, 3), progress=print)
         ok, lines = check_against_baseline(baseline_run, run,
                                            max_slowdown=args.max_slowdown)
-        # Hardware-independent part of the gate: with the compiled tier
-        # requested, every FSM step must actually take the compiled path.
-        if args.fsm_mode == "compiled":
-            for point in run["results"]:
-                counters = point["fsm"]
-                if counters["fallback"] or not counters["compile_hits"]:
-                    ok = False
-                    lines.append(
-                        f"{point['workload']:<16} n={point['n_processes']:<4} "
-                        f"lost the compiled fast path: {counters}"
-                    )
+        # Hardware-independent part of the gate: the requested fast paths
+        # must actually have been taken.
+        paths_ok, path_lines = check_fast_paths(run)
+        ok = ok and paths_ok
+        lines.extend(path_lines)
+        batch = run.get("batch")
+        if batch is not None:
+            # The quick-scale batch (40 scenarios) amortizes less than the
+            # recorded full point, so the absolute BATCH_THRESHOLD belongs
+            # to the full-run record (checked below); the re-timed quick
+            # speedup is regression-gated against the baseline's recorded
+            # quick batch, same philosophy as the wall-clock points.
+            base_batch = baseline_run.get("batch")
+            floor = (base_batch["speedup"] / args.max_slowdown
+                     if base_batch else batch["threshold"])
+            verdict = "ok"
+            if not batch["identical"]:
+                ok = False
+                verdict = "DIVERGED"
+            elif batch["speedup"] < floor:
+                ok = False
+                verdict = "REGRESSED"
+            lines.append(
+                f"batch            n={batch['scenarios']:<4} "
+                f"x{batch['speedup']:.2f} (need {floor:.2f}x) "
+                f"{verdict}"
+            )
+        recorded_batch = document.get("runs", {}).get("current", {}).get("batch")
+        if recorded_batch is not None and (
+                not recorded_batch["identical"]
+                or recorded_batch["speedup"] < recorded_batch["threshold"]):
+            ok = False
+            lines.append(
+                f"recorded full-run batch failing: "
+                f"x{recorded_batch['speedup']:.2f} "
+                f"(need {recorded_batch['threshold']}x, identical="
+                f"{recorded_batch['identical']})"
+            )
+        acceptance = document.get("acceptance")
+        if acceptance is not None and not acceptance.get("pass"):
+            ok = False
+            lines.append(f"recorded acceptance verdict failing: {acceptance}")
         print()
         print("\n".join(lines))
         print(f"cosim quick gate: {'PASS' if ok else 'FAIL'} "
@@ -224,21 +402,24 @@ def main(argv=None):
         return 0 if ok else 1
 
     run = run_cosim_suite(quick=args.quick, fsm_mode=args.fsm_mode,
+                          system_mode=system_mode,
                           repeats=args.repeats, progress=print)
     if args.no_write:
         print(json.dumps(run, indent=2))
         return 0
     document = update_bench_file(args.output, args.label, run,
-                                 schema=SCHEMA, point=ACCEPTANCE_POINT,
-                                 threshold=ACCEPTANCE_THRESHOLD)
+                                 schema=SCHEMA, points=ACCEPTANCE_POINTS)
     print(f"\nwrote label {args.label!r} to {args.output}")
     acceptance = document.get("acceptance")
     if acceptance is not None:
-        verdict = "PASS" if acceptance["pass"] else "FAIL"
-        print(f"acceptance ({acceptance['point']['workload']} "
-              f"n={acceptance['point']['n_processes']}): "
-              f"speedup={acceptance['speedup']} "
-              f"threshold={acceptance['threshold']} -> {verdict}")
+        for entry in acceptance["points"]:
+            verdict = "PASS" if entry["pass"] else "FAIL"
+            print(f"acceptance ({entry['point']['workload']} "
+                  f"n={entry['point']['n_processes']}): "
+                  f"speedup={entry['speedup']} "
+                  f"threshold={entry['threshold']} -> {verdict}")
+        print(f"acceptance overall: "
+              f"{'PASS' if acceptance['pass'] else 'FAIL'}")
     return 0
 
 

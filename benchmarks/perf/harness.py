@@ -111,15 +111,17 @@ def _index_results(run):
 
 
 def compute_speedups(seed_run, current_run, point=ACCEPTANCE_POINT,
-                     threshold=ACCEPTANCE_THRESHOLD):
+                     threshold=ACCEPTANCE_THRESHOLD, points=None):
     """Per-point ``seed / current`` wall-clock ratios plus the verdict.
 
     Only points present in *both* runs are compared (a quick seed run and a
     full current run share only their small points).  Returns
     ``(speedup, acceptance)`` where *speedup* maps workload name to
     ``{str(n): ratio}`` and *acceptance* reports the criterion at *point*
-    against *threshold* (defaults: this suite's roadmap criterion; the
-    cosim suite passes its own).
+    against *threshold* (defaults: this suite's roadmap criterion).
+    *points* — a list of ``(workload, n, threshold)`` triples — switches to
+    the multi-criterion form the cosim suite uses: the acceptance dict then
+    carries one verdict per gated point plus the combined ``pass``.
     """
     seed_index = _index_results(seed_run)
     current_index = _index_results(current_run)
@@ -129,25 +131,38 @@ def compute_speedups(seed_run, current_run, point=ACCEPTANCE_POINT,
         current_wall = current_index[key]
         ratio = (seed_index[key] / current_wall) if current_wall > 0 else float("inf")
         speedup.setdefault(workload, {})[str(n_processes)] = round(ratio, 2)
-    target = speedup.get(point[0], {}).get(str(point[1]))
-    acceptance = {
-        "point": {"workload": point[0], "n_processes": point[1]},
-        "threshold": threshold,
-        "speedup": target,
-        "pass": (target is not None and target >= threshold),
-    }
+
+    def verdict(workload, n_processes, required):
+        target = speedup.get(workload, {}).get(str(n_processes))
+        return {
+            "point": {"workload": workload, "n_processes": n_processes},
+            "threshold": required,
+            "speedup": target,
+            "pass": (target is not None and target >= required),
+        }
+
+    if points is not None:
+        verdicts = [verdict(workload, n_processes, required)
+                    for workload, n_processes, required in points]
+        acceptance = {
+            "points": verdicts,
+            "pass": all(entry["pass"] for entry in verdicts),
+        }
+    else:
+        acceptance = verdict(point[0], point[1], threshold)
     return speedup, acceptance
 
 
 def update_bench_file(path, label, run, schema=SCHEMA, point=ACCEPTANCE_POINT,
-                      threshold=ACCEPTANCE_THRESHOLD):
+                      threshold=ACCEPTANCE_THRESHOLD, points=None):
     """Merge one labelled *run* into the JSON file at *path*; returns the doc.
 
     Existing labels are preserved (re-running a label overwrites only that
     label).  Speedups and the acceptance verdict are recomputed whenever
     both ``seed`` and ``current`` are present.  *schema*, *point* and
     *threshold* default to this (kernel) suite's values; the cosim suite
-    reuses the same file format with its own.
+    reuses the same file format with its own *points* list (one threshold
+    per gated point, combined verdict).
     """
     path = Path(path)
     if path.exists():
@@ -159,7 +174,8 @@ def update_bench_file(path, label, run, schema=SCHEMA, point=ACCEPTANCE_POINT,
     runs = document["runs"]
     if "seed" in runs and "current" in runs:
         speedup, acceptance = compute_speedups(runs["seed"], runs["current"],
-                                               point=point, threshold=threshold)
+                                               point=point, threshold=threshold,
+                                               points=points)
         document["speedup"] = speedup
         document["acceptance"] = acceptance
     path.write_text(json.dumps(document, indent=2) + "\n")

@@ -185,6 +185,7 @@ def make_fifo_controller(name, prefix, depth=4, data_width=16):
     return CommunicationController(
         name, fsm,
         description=f"FIFO controller (depth {depth}) of channel {prefix!r}",
+        protocol=f"fifo(depth={depth})",
     )
 
 

@@ -152,5 +152,7 @@ def make_handshake_controller(name, prefix, with_tag=False):
         state.stay()
     fsm = build.build(initial="EMPTY")
     return CommunicationController(
-        name, fsm, description=f"full/empty handshake controller of channel {prefix!r}"
+        name, fsm,
+        description=f"full/empty handshake controller of channel {prefix!r}",
+        protocol="handshake_tagged" if with_tag else "handshake",
     )

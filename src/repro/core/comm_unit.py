@@ -23,12 +23,17 @@ from repro.utils.ids import check_identifier
 class CommunicationController:
     """The conflict-resolution / state-guarding FSM of a communication unit."""
 
-    def __init__(self, name, fsm, description=""):
+    def __init__(self, name, fsm, description="", protocol=""):
         self.name = check_identifier(name, "controller name")
         if not isinstance(fsm, Fsm):
             raise ModelError(f"controller {name!r}: fsm must be an Fsm")
         self.fsm = fsm
         self.description = description
+        #: Protocol template this controller was stamped from (e.g.
+        #: ``"handshake"``, ``"fifo(depth=4)"``); empty for hand-built
+        #: controllers.  Part of the whole-system codegen spec, so two
+        #: structurally equal FSMs from different templates cache apart.
+        self.protocol = protocol
 
     def __repr__(self):
         return f"CommunicationController({self.name})"

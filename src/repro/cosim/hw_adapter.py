@@ -15,7 +15,7 @@ class HardwareAdapter:
     """Drives the processes of one hardware module inside a co-simulation."""
 
     def __init__(self, module, simulator, clock, accessor, registry,
-                 fsm_mode=None):
+                 fsm_mode=None, register=True):
         self.module = module
         self.simulator = simulator
         self.clock = clock
@@ -31,7 +31,11 @@ class HardwareAdapter:
                 mode=fsm_mode,
             )
         self.cycles = 0
-        self._register()
+        # register=False leaves the clocked process out: the session's
+        # fused whole-system step (repro.ir.syscompile) drives the
+        # instances and the cycle counter itself.
+        if register:
+            self._register()
 
     def _register(self):
         # The instance list is immutable after construction; binding it (and

@@ -28,8 +28,20 @@ from repro.core.module import HardwareModule, SoftwareModule
 from repro.core.validation import validate_model
 from repro.desim import Timeout, WaveformRecorder, create_simulator
 from repro.ir.interp import DEFAULT_FSM_MODE, FSM_MODES, FsmInstance
+from repro.ir.syscompile import (
+    DEFAULT_SYSTEM_MODE,
+    SYSTEM_MODES,
+    LateBoundService,
+    ShadowChecker,
+    SystemCompileError,
+    compile_system,
+)
 from repro.obs import TELEMETRY
 from repro.utils.errors import SimulationError
+
+
+def _unbound_system_step():  # pragma: no cover - rebound during build()
+    raise SimulationError("whole-system program stepped before it was bound")
 
 
 class CosimResult:
@@ -59,6 +71,7 @@ class CosimResult:
             monitor.name: list(monitor.violations) for monitor in session.monitors
         }
         self.fsm_counters = session.fsm_counters()
+        self.system_mode = session.system_tier
 
     @property
     def all_monitors_ok(self):
@@ -73,6 +86,7 @@ class CosimResult:
             "sw_activations": self.sw_activations,
             "hw_cycles": self.hw_cycles,
             "monitors_ok": self.all_monitors_ok,
+            "system_mode": self.system_mode,
             "fsm": dict(self.fsm_counters),
             # Per-service latency distributions (simulated ns): count, mean,
             # p50/p95/max — the mean alone hides a saturated channel's tail.
@@ -89,7 +103,8 @@ class CosimSession:
     def __init__(self, model, library=None, clock_period=100,
                  sw_activation_period=None, activation_policy=None,
                  validate=True, trace_signals=True, kernel="production",
-                 fsm_mode=None, detect_races=False):
+                 fsm_mode=None, detect_races=False, system_mode=None,
+                 system_lint=True, system_cache=None):
         if validate:
             validate_model(model, library=library)
         self.model = model
@@ -99,13 +114,50 @@ class CosimSession:
         self.activation_policy = activation_policy or OneTransitionPerActivation()
         self.trace_signals = trace_signals
         self.kernel = kernel
+        explicit_fsm_mode = fsm_mode
         if fsm_mode is None:
             fsm_mode = DEFAULT_FSM_MODE
         if fsm_mode not in FSM_MODES:
             raise SimulationError(
                 f"unknown fsm_mode {fsm_mode!r}; expected one of {FSM_MODES}"
             )
+        if system_mode is None:
+            system_mode = DEFAULT_SYSTEM_MODE
+        if system_mode not in SYSTEM_MODES:
+            raise SimulationError(
+                f"unknown system_mode {system_mode!r}; "
+                f"expected one of {SYSTEM_MODES}"
+            )
+        if system_mode == "interpreted":
+            # The interpreted system tier means *everything* runs on the
+            # tree-walking oracle; a session asking for compiled FSMs inside
+            # it is contradictory.
+            if explicit_fsm_mode == "compiled":
+                raise SimulationError(
+                    'system_mode="interpreted" forces fsm_mode="interpreted"; '
+                    'drop the explicit fsm_mode="compiled"'
+                )
+            fsm_mode = "interpreted"
         self.fsm_mode = fsm_mode
+        self.system_mode = system_mode
+        self.system_lint = system_lint
+        self.system_cache = system_cache
+        self.detect_races = detect_races
+        #: Resolved at build time: the tier actually wired ("fused",
+        #: "per-fsm", "interpreted" or "differential") — a requested
+        #: "fused"/"differential" falls back to "per-fsm" when the model
+        #: cannot be fused (reason in :attr:`system_fallback_reason`).
+        self.system_tier = None
+        self.system_fallback_reason = None
+        self.system_program = None
+        #: Candidate FSM steps executed inside the fused program / executed
+        #: per-FSM at runtime although the fused program was active.
+        self.system_compile_hits = 0
+        self.system_fallback = 0
+        self.system_checker = None
+        self._fused_process = None
+        self._check_pre_process = None
+        self._system_wiring = None
 
         self.simulator = create_simulator(kernel, detect_races=detect_races)
         self.trace = ServiceCallTrace()
@@ -171,9 +223,11 @@ class CosimSession:
 
     def _do_build(self):
         self.clock = self.simulator.add_clock("hwclk", period=self.clock_period)
+        self._system_prepare()
         self._build_unit_signals()
         self._build_controllers()
         self._build_hardware()
+        self._system_bind()
         self._build_software()
         for injector in self.fault_injectors.values():
             injector.install()
@@ -188,6 +242,106 @@ class CosimSession:
         self._built = True
         return self
 
+    def _system_prepare(self):
+        """Resolve the system tier; compile the fused program when asked.
+
+        Requested "fused"/"differential" degrade to the per-FSM wiring —
+        with :attr:`system_fallback_reason` recording why — when the model
+        carries un-fusable constructs, lint errors (``system_lint=True``)
+        or the kernel runs with ``detect_races`` (write-race attribution
+        needs one kernel process per writer, which fusing removes).
+        """
+        self._system_wiring = "per-fsm"
+        if self.system_mode in ("per-fsm", "interpreted"):
+            self.system_tier = self.system_mode
+            return
+        program = None
+        if self.detect_races:
+            self.system_fallback_reason = (
+                "detect_races attributes writes to kernel processes; the "
+                "fused step merges them"
+            )
+        else:
+            try:
+                program = compile_system(self.model, cache=self.system_cache,
+                                         lint=self.system_lint)
+            except SystemCompileError as exc:
+                self.system_fallback_reason = str(exc)
+        if program is None:
+            self.system_tier = "per-fsm"
+            return
+        self.system_program = program
+        self.system_tier = (
+            "differential" if self.system_mode == "differential" else "fused"
+        )
+        if program.process_count:
+            self._system_wiring = (
+                "differential" if self.system_mode == "differential"
+                else "fused"
+            )
+
+    def _system_bind(self):
+        """Bind the generated code to the built backplane.
+
+        Runs after controllers and hardware exist.  In fused wiring the
+        placeholder process registered first on the clock receives the
+        generated step function; in differential wiring the per-FSM
+        processes stay authoritative and a :class:`ShadowChecker` brackets
+        them (pre-sampler registered before the controllers, post-checker
+        registered here, after the adapters).
+        """
+        if self._system_wiring == "per-fsm":
+            return
+        program = self.system_program
+        plan = program.plan
+        instances, labels = [], []
+        for cand in plan.candidates:
+            if cand.kind == "ctrl":
+                instances.append(self.controller_instances[cand.label])
+            else:
+                instances.append(self.hw_adapters[cand.owner].instances[cand.name])
+            labels.append(cand.label)
+        signals = []
+        for kind, owner, port in plan.signal_keys:
+            table = self.unit_signals if kind == "unit" else self.module_signals
+            signals.append(table[owner][port])
+        if self._system_wiring == "differential":
+            shadow = program.bind_shadow({"signals": signals})
+            self.system_checker = ShadowChecker(self.clock, instances,
+                                                labels, shadow)
+            self._check_pre_process.func = self.system_checker.pre
+            self.simulator.add_fused_process(
+                "system_check_post", self.system_checker.post, self.clock
+            )
+            return
+        accessors = []
+        for key in plan.accessor_keys:
+            if key[0] == "ctrl":
+                accessors.append(
+                    self.controller_instances[f"{key[1]}.{key[2]}"].ports
+                )
+            else:
+                accessors.append(self.hw_adapters[key[1]].accessor)
+        services = []
+        for module_name, service_name in plan.service_keys:
+            registry = self.hw_adapters[module_name].registry
+            try:
+                services.append(registry.get(service_name))
+            except SimulationError:
+                # Not bound (a lint warning, not an error): the canonical
+                # "no bound service" error must surface at call time.
+                services.append(LateBoundService(registry, service_name))
+        self._fused_process.func = program.bind({
+            "sim": self.simulator,
+            "clock": self.clock,
+            "session": self,
+            "signals": signals,
+            "instances": instances,
+            "accessors": accessors,
+            "services": services,
+            "adapters": [self.hw_adapters[name] for name in plan.adapter_keys],
+        })
+
     def _build_unit_signals(self):
         for unit in self.model.comm_units.values():
             signals = {}
@@ -199,6 +353,18 @@ class CosimSession:
             self.unit_signals[unit.name] = signals
 
     def _build_controllers(self):
+        # The fused step (or the differential pre-sampler) must occupy the
+        # clock-sensitivity position of the first process it replaces
+        # (precedes), so registration happens before any controller.
+        if self._system_wiring == "fused":
+            self._fused_process = self.simulator.add_fused_process(
+                "system_fused", _unbound_system_step, self.clock
+            )
+        elif self._system_wiring == "differential":
+            self._check_pre_process = self.simulator.add_fused_process(
+                "system_check_pre", _unbound_system_step, self.clock
+            )
+        register = self._system_wiring != "fused"
         for unit in self.model.comm_units.values():
             signals = self.unit_signals[unit.name]
             for controller in unit.controllers:
@@ -207,10 +373,11 @@ class CosimSession:
                 instance = FsmInstance(controller.fsm, ports=accessor,
                                        mode=self.fsm_mode)
                 self.controller_instances[f"{unit.name}.{controller.name}"] = instance
-                self.simulator.add_clocked_process(
-                    f"{unit.name}_{controller.name}_clked", instance.step,
-                    self.clock,
-                )
+                if register:
+                    self.simulator.add_clocked_process(
+                        f"{unit.name}_{controller.name}_clked", instance.step,
+                        self.clock,
+                    )
 
     def _registry_for(self, module, software):
         registry = ServiceRegistry(module.name)
@@ -243,6 +410,7 @@ class CosimSession:
             self.hw_adapters[module.name] = HardwareAdapter(
                 module, self.simulator, self.clock, accessor, registry,
                 fsm_mode=self.fsm_mode,
+                register=self._system_wiring != "fused",
             )
 
     def _build_software(self):
@@ -325,12 +493,14 @@ class CosimSession:
         the previous flush — each simulated event is counted exactly once
         no matter how the run was sliced.
         """
-        labels = {"kernel": self.kernel, "fsm_mode": self.fsm_mode}
+        labels = {"kernel": self.kernel, "fsm_mode": self.fsm_mode,
+                  "system_mode": self.system_tier or self.system_mode}
         metrics = TELEMETRY.metrics
         fsm = self.fsm_counters()
         current = {
             "compiled": fsm["compile_hits"],
             "interpreted": fsm["fallback"],
+            "fused": fsm["system_compile_hits"],
             "transitions": fsm["transitions_fired"],
             "services": len(self.trace),
             "channels": self.trace.count(),
@@ -340,7 +510,7 @@ class CosimSession:
         metrics.counter("repro_cosim_runs_total", labels=labels,
                         help="Completed CosimSession runs.").inc()
         steps = metrics.counter
-        for tier in ("compiled", "interpreted"):
+        for tier in ("compiled", "interpreted", "fused"):
             delta = current[tier] - prev[tier]
             if delta:
                 steps("repro_cosim_fsm_steps_total",
@@ -387,6 +557,14 @@ class CosimSession:
             # Informational only: compiled and interpreted execution are
             # byte-identical, so a checkpoint restores into either tier.
             "fsm_mode": self.fsm_mode,
+            # NOT informational: system wiring modes register different
+            # kernel processes, so a checkpoint only restores into a
+            # session wired the same way.
+            "system_mode": self.system_mode,
+            "system_counters": {
+                "system_compile_hits": self.system_compile_hits,
+                "system_fallback": self.system_fallback,
+            },
             "clock_period": self.clock_period,
             "sw_activation_period": self.sw_activation_period,
             "policy": self.activation_policy.name,
@@ -434,6 +612,9 @@ class CosimSession:
                  self.sw_activation_period),
                 ("activation policy", checkpoint["policy"],
                  self.activation_policy.name),
+                ("system_mode",
+                 checkpoint.get("system_mode", self.system_mode),
+                 self.system_mode),
             )
             if theirs != ours
         ]
@@ -478,6 +659,9 @@ class CosimSession:
             monitors[name].restore_state(state)
         for name, state in checkpoint.get("faults", {}).items():
             self.fault_injectors[name].restore_state(state)
+        counters = checkpoint.get("system_counters", {})
+        self.system_compile_hits = counters.get("system_compile_hits", 0)
+        self.system_fallback = counters.get("system_fallback", 0)
         return self
 
     # ------------------------------------------------------------------ query
@@ -503,12 +687,19 @@ class CosimSession:
         """Aggregate execution-tier counters across every FSM instance.
 
         ``steps`` / ``transitions_fired`` measure behavioural activity;
-        ``compile_hits`` / ``fallback`` split the steps by execution tier
-        (compiled program vs. tree-walking interpreter), so a silent loss of
-        the fast path shows up in artefacts, not just wall-clock.
+        ``compile_hits`` / ``fallback`` / ``system_compile_hits`` split the
+        steps by execution tier (per-FSM compiled program, tree-walking
+        interpreter, fused whole-system program), so a silent loss of a
+        fast path shows up in artefacts, not just wall-clock.
+        ``system_fallback`` counts candidate steps the fused program
+        delegated back to the per-FSM tier at runtime (those steps also
+        appear in ``compile_hits``/``fallback``); in a pure fused run
+        ``steps == compile_hits + fallback + system_compile_hits``.
         """
         totals = {"steps": 0, "transitions_fired": 0,
-                  "compile_hits": 0, "fallback": 0}
+                  "compile_hits": 0, "fallback": 0,
+                  "system_compile_hits": self.system_compile_hits,
+                  "system_fallback": self.system_fallback}
         for instance in self.fsm_instances():
             totals["steps"] += instance.steps
             totals["transitions_fired"] += instance.transitions_fired

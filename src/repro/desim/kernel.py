@@ -165,6 +165,13 @@ class Simulator:
 
     kernel_name = "production"
 
+    #: True when every matured deadline is discoverable from
+    #: ``_timeout_heap[0]`` — the precondition for the delta loop's
+    #: skip-``_expired_waits`` guard.  A subclass keeping deadlines in a
+    #: different structure (the reference kernel's flat wait list) must
+    #: set this False so the loop calls ``_expired_waits`` every delta.
+    deadlines_in_heap = True
+
     def __init__(self, max_deltas=10_000, detect_races=False):
         self.max_deltas = max_deltas
         #: when true, zero-delay writes are attributed to the running
@@ -292,6 +299,23 @@ class Simulator:
         return self.add_process(name, on_edge, sensitivity=[clock],
                                 initial_run=False)
 
+    def add_fused_process(self, name, func, clock):
+        """Register a whole-system fused stepper on *clock*'s sensitivity list.
+
+        Unlike :meth:`add_clocked_process` there is no edge-filtering
+        wrapper: *func* is entered on **every** transition of *clock* and
+        performs its own edge check.  The fused stepper generated by
+        :mod:`repro.ir.syscompile` folds the edge filter, the per-instance
+        dispatch and the run-statistics compensation of all the clocked
+        processes it replaces into one code object, so a wrapper frame here
+        would be pure per-delta overhead on the hottest call in the
+        simulator.  Returns the created :class:`Process`; its ``func`` may
+        be rebound after registration (the session binds the generated code
+        once the whole backplane exists).
+        """
+        return self.add_process(name, func, sensitivity=[clock],
+                                initial_run=False)
+
     def add_clock(self, name, period, start_value=0, start_delay=0):
         """Create a free-running clock signal toggling every ``period/2`` ns."""
         check_delay(period)
@@ -306,8 +330,9 @@ class Simulator:
         # expressed as the kernel-armed first wait, not as frame state.
         def toggler():
             tick = Timeout(half)
+            schedule = self.schedule
             while True:
-                self.schedule(clock, 1 - clock.value, 0)
+                schedule(clock, 1 - clock.value, 0)
                 yield tick
 
         first_wait = Timeout(start_delay) if start_delay else None
@@ -456,13 +481,15 @@ class Simulator:
         if self._delta_queue:
             return self.now
         if self._next_time_dirty:
-            candidates = []
-            if self._future:
-                candidates.append(self._future[0][0])
+            future = self._future[0][0] if self._future else None
             deadline = self._peek_deadline()
-            if deadline is not None:
-                candidates.append(deadline)
-            self._next_time_cache = min(candidates) if candidates else None
+            if future is None:
+                earliest = deadline
+            elif deadline is None or future < deadline:
+                earliest = future
+            else:
+                earliest = deadline
+            self._next_time_cache = earliest
             self._next_time_dirty = False
         earliest = self._next_time_cache
         if earliest is None:
@@ -562,16 +589,39 @@ class Simulator:
     def _drain_deltas(self):
         if self._obs is not None:
             return self._drain_deltas_obs(self._obs)
+        # Guarded phase dispatch: each phase call below is skipped when its
+        # input is visibly empty (no queued transactions, no changed
+        # signals, no matured deadline at the heap top).  The skipped calls
+        # are no-ops by construction — ``_update_phase`` on an empty queue
+        # returns ``[]``, ``_collect_runnable`` of no changes collects
+        # nothing, ``_expired_waits`` past the guard wakes nothing — so
+        # observables and statistics are bit-identical; only the terminating
+        # empty delta of every time point (and the apply-only delta of every
+        # clock edge) gets cheaper.  A ``done`` wait surfacing at the heap
+        # top with a future deadline is left for a later guard pass to
+        # discard — the same lazy-invalidation contract ``_peek_deadline``
+        # already implements.  The deadline guard only holds when matured
+        # deadlines surface at ``_timeout_heap[0]`` (``deadlines_in_heap``);
+        # the reference kernel keeps them in a flat list and opts out.
         self.delta = 0
         statistics = self.statistics
+        now = self.now
+        guard_deadlines = self.deadlines_in_heap
         while True:
             if self._delta_writes:
                 self._race_scan()
-            changed = self._update_phase()
-            runnable = self._collect_runnable(changed)
-            expired = self._expired_waits()
-            if expired:
-                runnable.extend(expired)
+            changed = self._update_phase() if self._delta_queue else ()
+            runnable = self._collect_runnable(changed) if changed else []
+            if guard_deadlines:
+                heap = self._timeout_heap
+                if heap and heap[0][0] <= now:
+                    expired = self._expired_waits()
+                    if expired:
+                        runnable.extend(expired)
+            else:
+                expired = self._expired_waits()
+                if expired:
+                    runnable.extend(expired)
             if not changed and not runnable and not self._delta_queue:
                 break
             self._run_processes(runnable)
@@ -643,6 +693,17 @@ class Simulator:
         value while the signal is appended only once).
         """
         queue, self._delta_queue = self._delta_queue, []
+        if len(queue) == 1:
+            # Single-transaction delta (every clock-toggle delta): no
+            # dedup pass needed, and the _staged flag never moves.
+            signal, value = queue[0]
+            signal.stage(value)
+            if signal.apply_pending(self.now):
+                if self.recorders and signal.name in self.signals:
+                    for recorder in self.recorders:
+                        recorder.record(self.now, signal)
+                return [signal]
+            return []
         staged = []
         for signal, value in queue:
             if not signal._staged:
@@ -789,10 +850,10 @@ class Simulator:
             return
         seq = next(self._seq)
         if isinstance(condition, Timeout):
-            wait = _GenWait(process, resume_at=self.now + condition.delay, seq=seq)
-        elif isinstance(condition, Delta):
-            wait = _GenWait(process, resume_at=self.now, seq=seq)
-        elif isinstance(condition, SignalChange):
+            return self._park_timed(process, self.now + condition.delay, seq)
+        if isinstance(condition, Delta):
+            return self._park_timed(process, self.now, seq)
+        if isinstance(condition, SignalChange):
             resume_at = None
             if condition.timeout is not None:
                 resume_at = self.now + condition.timeout
@@ -801,6 +862,26 @@ class Simulator:
         else:  # pragma: no cover - Process.step already validates
             raise SimulationError(f"unknown wait condition {condition!r}")
         self._register_wait(wait)
+
+    def _park_timed(self, process, resume_at, seq):
+        """Park *process* on a deadline-only wait (``Timeout`` / ``Delta``).
+
+        Signal-less waits can only be consumed by ``_expired_waits``, which
+        pops them off the heap before marking them done — so a ``done``
+        wait cached on the process is guaranteed to be out of every index
+        and is recycled instead of allocated.  A clock rearms through here
+        every edge; this is the hottest allocation site in the kernel.
+        """
+        wait = process._timer_wait
+        if wait is not None and wait.done:
+            wait.done = False
+            wait.resume_at = resume_at
+            wait.seq = seq
+        else:
+            wait = _GenWait(process, resume_at=resume_at, seq=seq)
+            process._timer_wait = wait
+        heapq.heappush(self._timeout_heap, (resume_at, seq, wait))
+        self._next_time_dirty = True
 
     def _register_wait(self, wait):
         """Index a wait under its signals and, with a deadline, on the heap."""

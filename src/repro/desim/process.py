@@ -80,6 +80,9 @@ class Process:
         self._gen = None
         self.finished = False
         self.run_count = 0
+        # Recyclable deadline-only wait (Timeout/Delta), owned by the
+        # kernel's _park_timed; reused only when consumed (done).
+        self._timer_wait = None
 
     @property
     def restorable(self):

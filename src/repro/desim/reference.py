@@ -55,6 +55,10 @@ class ReferenceSimulator(Simulator):
 
     kernel_name = "reference"
 
+    # Deadlines live in the flat wait list, not a heap: the delta loop's
+    # skip-_expired_waits guard would never fire, so opt out of it.
+    deadlines_in_heap = False
+
     def __init__(self, max_deltas=10_000, detect_races=False):
         super().__init__(max_deltas=max_deltas, detect_races=detect_races)
         # Unsorted future transactions: [(time, seq, signal, value)].

@@ -101,4 +101,26 @@ __all__ = [
     "reachable_states",
     "remove_unreachable_states",
     "check_fsm",
+    "SystemCompileError",
+    "SystemPlan",
+    "SystemProgram",
+    "compile_system",
+    "generate_system_source",
+    "model_digest",
+    "system_spec",
 ]
+
+_SYSCOMPILE_EXPORTS = frozenset({
+    "SystemCompileError", "SystemPlan", "SystemProgram", "compile_system",
+    "generate_system_source", "model_digest", "system_spec",
+})
+
+
+def __getattr__(name):
+    # The whole-system compiler is exported lazily: importing it pulls in
+    # the codegen machinery, which most users of the IR data model (the
+    # builder, the printer, the transforms) never need.
+    if name in _SYSCOMPILE_EXPORTS:
+        from repro.ir import syscompile
+        return getattr(syscompile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

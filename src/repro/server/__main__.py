@@ -245,6 +245,10 @@ def selfcheck(args):
                    f"expected compiled-tier activity: {metrics['fsm']}")
             _check(metrics["fsm"]["fallback"] == 0,
                    f"unexpected interpreter fallback: {metrics['fsm']}")
+            _check(metrics["fsm"]["system_compile_hits"] > 0,
+                   f"expected fused-tier activity: {metrics['fsm']}")
+            _check(metrics["fsm"]["system_fallback"] == 0,
+                   f"unexpected fused-step fallback: {metrics['fsm']}")
             _check(metrics["ticks"] == 2, f"expected 2 ticks: {metrics}")
             note("GET /metrics reports queue/cache/fsm counters")
 

@@ -11,7 +11,10 @@ report verbatim.  Three kinds cover the project's workloads:
   to a fixed horizon), functionally checked against the generator's
   expectations, fingerprinted; optionally executed through a mid-run
   checkpoint/restore round-trip (``checkpoint_at``), which by construction
-  must not change the fingerprint.
+  must not change the fingerprint.  ``batch=N`` runs N scenarios of the
+  same generated system inside one job, amortizing model generation, lint
+  pre-flight and whole-system compilation across the batch while keeping
+  every per-scenario fingerprint byte-identical to a standalone run.
 * :class:`CosynJob` — one generated system (optionally repartitioned, e.g.
   to a DSE Pareto candidate) co-synthesized on one platform.  The full
   artefact dict is the **cacheable payload**: the sweep service stores it
@@ -151,8 +154,9 @@ class CosimJob(SweepJob):
     kind = "cosim"
 
     def __init__(self, seed, networks=None, kernel="production", until=None,
-                 checkpoint_at=None, fsm_mode=None, coverage=False,
-                 fault_kind=None, fault_unit_index=0, no_lint=False):
+                 checkpoint_at=None, fsm_mode=None, system_mode=None,
+                 coverage=False, fault_kind=None, fault_unit_index=0,
+                 no_lint=False, batch=None, fault_at_offset=0):
         self.seed = int(seed)
         self.networks = None if networks is None else int(networks)
         self.kernel = kernel
@@ -162,6 +166,14 @@ class CosimJob(SweepJob):
             from repro.ir.interp import DEFAULT_FSM_MODE
             fsm_mode = DEFAULT_FSM_MODE
         self.fsm_mode = fsm_mode
+        if system_mode is None:
+            from repro.ir.syscompile import DEFAULT_SYSTEM_MODE
+            system_mode = DEFAULT_SYSTEM_MODE
+        self.system_mode = system_mode
+        self.batch = None if batch is None else int(batch)
+        if self.batch is not None and self.batch < 1:
+            raise ValueError("batch must be a positive scenario count")
+        self.fault_at_offset = int(fault_at_offset)
         self.until = None if until is None else int(until)
         self.checkpoint_at = (None if checkpoint_at is None
                               else int(checkpoint_at))
@@ -170,6 +182,10 @@ class CosimJob(SweepJob):
         if (self.checkpoint_at is not None and self.until is not None
                 and self.checkpoint_at >= self.until):
             raise ValueError("checkpoint_at must lie before until")
+        if self.checkpoint_at is not None and self.batch is not None:
+            raise ValueError("checkpoint_at does not combine with batch; "
+                             "checkpoint round-trips are a single-scenario "
+                             "concern")
         self.coverage = bool(coverage)
         if fault_kind is not None:
             from repro.cosim.faults import FAULT_KINDS
@@ -192,43 +208,61 @@ class CosimJob(SweepJob):
             "networks": self.networks,
             "kernel": self.kernel,
             "fsm_mode": self.fsm_mode,
+            "system_mode": self.system_mode,
             "until": self.until,
             "checkpoint_at": self.checkpoint_at,
             "coverage": self.coverage,
             "fault_kind": self.fault_kind,
             "fault_unit_index": self.fault_unit_index,
             "no_lint": self.no_lint,
+            "batch": self.batch,
+            "fault_at_offset": self.fault_at_offset,
         }
 
     @property
     def name(self):
         suffix = f"x{self.networks}" if self.networks is not None else ""
         fault = f"+{self.fault_kind}" if self.fault_kind is not None else ""
-        return f"cosim-{self.seed}{suffix}{fault}@{self.kernel}"
+        batch = f"*{self.batch}" if self.batch is not None else ""
+        return f"cosim-{self.seed}{suffix}{fault}{batch}@{self.kernel}"
 
-    def _session(self, system):
+    def _session(self, system, model=None, scenario_index=0,
+                 validate=True):
         from repro.cosim import CosimSession
         from repro.cosim.faults import default_fault_window, plan_for_unit
 
-        session = CosimSession(system.build_model(), kernel=self.kernel,
-                               fsm_mode=self.fsm_mode, **system.cosim_params)
+        if model is None:
+            model = system.build_model()
+        session = CosimSession(model, kernel=self.kernel,
+                               fsm_mode=self.fsm_mode,
+                               system_mode=self.system_mode,
+                               validate=validate,
+                               **system.cosim_params)
         if self.fault_kind is not None:
             units = list(session.model.comm_units.values())
             unit = units[self.fault_unit_index % len(units)]
             at, duration = default_fault_window(
                 system.cosim_params["clock_period"])
+            at += scenario_index * self.fault_at_offset
             session.add_fault_plan(plan_for_unit(self.fault_kind, unit,
                                                  at=at, duration=duration))
         return session
 
-    def execute(self):
+    def _run_scenario(self, system, model=None, scenario_index=0,
+                      validate=True):
+        """One co-simulated scenario; returns ``(entry, coverage_or_none)``.
+
+        *entry* is the deterministic per-scenario report fragment — the
+        same fields whether the scenario runs standalone or inside a
+        batch, so batched fingerprints are directly comparable to
+        sequential ones.
+        """
         from repro.testkit.coverage import (
             CoverageMap,
             attach_session,
             coverage_universe,
             scoreboard,
         )
-        from repro.testkit.models import generate_system
         from repro.testkit.oracles import (
             COSIM_MAX_TIME,
             check_functional_outcome,
@@ -237,10 +271,10 @@ class CosimJob(SweepJob):
         )
         from repro.testkit.scenarios import FAULT_MAX_TIME
 
-        system = generate_system(self.seed, networks=self.networks)
-        lint = _lint_preflight(system.build_model(), self.no_lint)
         coverage = CoverageMap() if self.coverage else None
-        session = self._session(system)
+        session = self._session(system, model=model,
+                                scenario_index=scenario_index,
+                                validate=validate)
         if coverage is not None:
             attach_session(session, coverage)
         if self.checkpoint_at is not None:
@@ -262,8 +296,7 @@ class CosimJob(SweepJob):
         else:
             result = session.run(until=self.until)
             problems = None
-        record = self._base_record()
-        record.update({
+        entry = {
             "end_time": result.end_time,
             "service_calls": len(result.trace),
             "sw_finished_all": all(result.sw_finished.values()),
@@ -272,32 +305,97 @@ class CosimJob(SweepJob):
             "functional_problems": (None if self.fault_kind is not None
                                     else problems),
             # Execution-tier counters: a sweep silently losing the compiled
-            # fast path shows up here as fallback > 0 / compile_hits == 0.
+            # fast path (per-FSM or whole-system) shows up here as
+            # fallback/system_fallback > 0 or *_hits == 0.
             "fsm": dict(result.fsm_counters),
+            "system_mode": result.system_mode,
             "fingerprint_digest": content_digest(
                 cosim_fingerprint(session, result)
             ),
             "fault_survival": (not problems if self.fault_kind is not None
                                and self.until is None else None),
-            # Lint pre-flight summary (None when skipped via no_lint); an
-            # error-level finding never reaches here — the job refuses.
-            "lint": lint,
-        })
-        payload = None
+        }
         if coverage is not None:
             coverage.record_trace(result.trace)
             universe = coverage_universe(session.model)
-            record["scoreboard"] = scoreboard(
+            entry["scoreboard"] = scoreboard(
                 coverage, universe,
-                fault_survival=record["fault_survival"],
+                fault_survival=entry["fault_survival"],
             )
-            record["coverage_digest"] = coverage.digest()
+            entry["coverage_digest"] = coverage.digest()
+        return entry, coverage
+
+    def execute(self):
+        from repro.testkit.models import generate_system
+
+        system = generate_system(self.seed, networks=self.networks)
+        if self.batch is None:
+            lint = _lint_preflight(system.build_model(), self.no_lint)
+            entry, coverage = self._run_scenario(system)
+            record = self._base_record()
+            record.update(entry)
+            # Lint pre-flight summary (None when skipped via no_lint); an
+            # error-level finding never reaches here — the job refuses.
+            record["lint"] = lint
+            coverages = [] if coverage is None else [coverage]
+        else:
+            # One model object serves the whole batch: generation, the lint
+            # pre-flight and the whole-system compile (weakly cached per
+            # model in repro.ir.syscompile) all happen once, which is where
+            # the batched speed-up over N standalone jobs comes from.
+            model = system.build_model()
+            lint = _lint_preflight(model, self.no_lint)
+            scenarios = []
+            coverages = []
+            for index in range(self.batch):
+                # The shared model is validated once (scenario 0); model
+                # validation is read-only, so skipping the re-check on the
+                # same object cannot change any observable.
+                entry, coverage = self._run_scenario(
+                    system, model=model, scenario_index=index,
+                    validate=index == 0)
+                entry["index"] = index
+                scenarios.append(entry)
+                if coverage is not None:
+                    coverages.append(coverage)
+            record = self._base_record()
+            fsm_totals = {}
+            for entry in scenarios:
+                for key, value in entry["fsm"].items():
+                    fsm_totals[key] = fsm_totals.get(key, 0) + value
+            survivals = [entry["fault_survival"] for entry in scenarios
+                         if entry["fault_survival"] is not None]
+            problems = [f"scenario {entry['index']}: {problem}"
+                        for entry in scenarios
+                        for problem in entry["functional_problems"] or ()]
+            record.update({
+                "scenarios": scenarios,
+                "end_time": max(entry["end_time"] for entry in scenarios),
+                "service_calls": sum(entry["service_calls"]
+                                     for entry in scenarios),
+                "sw_finished_all": all(entry["sw_finished_all"]
+                                       for entry in scenarios),
+                "functional_problems": (None if self.fault_kind is not None
+                                        else problems),
+                "fsm": fsm_totals,
+                "system_mode": scenarios[0]["system_mode"],
+                # The batch digest pins every per-scenario fingerprint.
+                "fingerprint_digest": content_digest(
+                    [entry["fingerprint_digest"] for entry in scenarios]
+                ),
+                "fault_survival": (sum(survivals) / len(survivals)
+                                   if survivals else None),
+                "lint": lint,
+            })
+        payload = None
+        if coverages:
             record["cached"] = False
             identity = set(self.spec()) | {"name", "error"}
             payload = {
                 "record": {key: value for key, value in record.items()
                            if key not in identity and key != "cached"},
-                "coverage": coverage.as_dict(),
+                "coverage": (coverages[0].as_dict() if self.batch is None
+                             else [cov.as_dict() for cov in coverages]),
             }
         return record, payload
 
@@ -393,16 +491,20 @@ class ConformanceJob(SweepJob):
 
     kind = "conformance"
 
-    def __init__(self, scenario, fsm_mode=None):
+    def __init__(self, scenario, fsm_mode=None, system_mode=None):
         self.scenario = str(scenario)
         if fsm_mode is None:
             from repro.ir.interp import DEFAULT_FSM_MODE
             fsm_mode = DEFAULT_FSM_MODE
         self.fsm_mode = fsm_mode
+        if system_mode is None:
+            from repro.ir.syscompile import DEFAULT_SYSTEM_MODE
+            system_mode = DEFAULT_SYSTEM_MODE
+        self.system_mode = system_mode
 
     def spec(self):
         return {"kind": self.kind, "scenario": self.scenario,
-                "fsm_mode": self.fsm_mode}
+                "fsm_mode": self.fsm_mode, "system_mode": self.system_mode}
 
     @property
     def name(self):
@@ -411,7 +513,8 @@ class ConformanceJob(SweepJob):
     def execute(self):
         from repro.testkit.runner import replay
 
-        problems = replay(self.scenario, fsm_mode=self.fsm_mode)
+        problems = replay(self.scenario, fsm_mode=self.fsm_mode,
+                          system_mode=self.system_mode)
         record = self._base_record()
         record.update({
             "ok": not problems,

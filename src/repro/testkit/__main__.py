@@ -95,6 +95,14 @@ def main(argv=None):
                              "compiled programs (the project default), the "
                              "tree-walking interpreter, or 'differential' "
                              "to cross-check both tiers against each other")
+    parser.add_argument("--system-mode", default=None,
+                        choices=("fused", "per-fsm", "interpreted",
+                                 "differential"),
+                        help="whole-system execution tier for the cosim "
+                             "oracle: the fused single-step program (the "
+                             "project default), per-FSM processes, the "
+                             "whole-interpreted stack, or 'differential' "
+                             "to cross-check all three tiers")
     parser.add_argument("--replay", metavar="NAME",
                         help="re-run one scenario by name and exit")
     parser.add_argument("--emit-models", type=int, metavar="N",
@@ -135,7 +143,8 @@ def main(argv=None):
         return 0
 
     if args.replay:
-        problems = replay(args.replay, fsm_mode=args.fsm_mode)
+        problems = replay(args.replay, fsm_mode=args.fsm_mode,
+                          system_mode=args.system_mode)
         if problems:
             print("\n".join(problems))
             return 1
@@ -177,7 +186,8 @@ def main(argv=None):
                              realtime_models=realtime_models,
                              seed_base=args.seed_base,
                              progress=progress,
-                             fsm_mode=args.fsm_mode)
+                             fsm_mode=args.fsm_mode,
+                             system_mode=args.system_mode)
     elapsed = time.perf_counter() - started
     print(report.summary())
     print(f"({elapsed:.1f} s wall clock)")

@@ -28,13 +28,14 @@ from repro.analysis.timing import check_pulse_timing, check_response_latency
 from repro.cosim import CosimSession
 from repro.cosim.faults import FAULT_KINDS, default_fault_window, plan_for_unit
 from repro.cosyn import CosynthesisFlow
-from repro.ir.interp import DEFAULT_FSM_MODE
 from repro.platforms import get_platform
 from repro.testkit.models import generate_system
 from repro.testkit.oracles import (
     check_functional_outcome,
     cosim_fingerprint,
     run_session_to_completion,
+    variant_label,
+    variant_matrix,
 )
 from repro.utils.errors import SimulationError
 
@@ -79,10 +80,12 @@ class FaultScenario:
             "unit_index": self.unit_index,
         }
 
-    def build_session(self, kernel="production", fsm_mode=None, coverage=None):
+    def build_session(self, kernel="production", fsm_mode=None, coverage=None,
+                      system_mode=None):
         """A fresh faulted session (built when *coverage* is attached)."""
         model = self.system.build_model()
         session = CosimSession(model, kernel=kernel, fsm_mode=fsm_mode,
+                               system_mode=system_mode,
                                **self.system.cosim_params)
         units = list(model.comm_units.values())
         unit = units[self.unit_index % len(units)]
@@ -94,10 +97,11 @@ class FaultScenario:
         return session
 
     def run(self, kernel="production", fsm_mode=None, coverage=None,
-            max_time=FAULT_MAX_TIME):
+            max_time=FAULT_MAX_TIME, system_mode=None):
         """Run to completion (or the horizon); returns ``(session, result)``."""
         session = self.build_session(kernel, fsm_mode=fsm_mode,
-                                     coverage=coverage)
+                                     coverage=coverage,
+                                     system_mode=system_mode)
         result = run_session_to_completion(session, self.system.expectations,
                                            max_time=max_time)
         if coverage is not None:
@@ -112,31 +116,29 @@ class FaultScenario:
 
 
 def check_fault_scenario(scenario, kernels=("production", "reference"),
-                         fsm_mode=None):
+                         fsm_mode=None, system_mode=None):
     """Differential oracle for one fault scenario; returns problem strings.
 
     Asserts seeded determinism per (kernel, tier) variant and byte-identical
-    observables across the whole variant matrix, plus that the fault plan
-    actually fired.  The functional outcome is *not* asserted (faults may
-    break it) but must itself be identical everywhere, which the fingerprint
-    comparison already guarantees.
+    observables across the whole variant matrix — including the
+    whole-system tiers when *system_mode* expands them — plus that the
+    fault plan actually fired.  The functional outcome is *not* asserted
+    (faults may break it) but must itself be identical everywhere, which
+    the fingerprint comparison already guarantees.
     """
-    if fsm_mode is None:
-        fsm_mode = DEFAULT_FSM_MODE
-    modes = (("compiled", "interpreted") if fsm_mode == "differential"
-             else (fsm_mode,))
-    variants = [(kernel, mode) for kernel in kernels for mode in modes]
+    variants = variant_matrix(kernels, fsm_mode, system_mode)
 
     def label(variant):
-        kernel, mode = variant
-        return kernel if len(modes) == 1 else f"{kernel}/{mode}"
+        return variant_label(variant, variants)
 
     problems = []
     fingerprints = {}
     for variant in variants:
-        kernel, mode = variant
-        session_a, result_a = scenario.run(kernel, fsm_mode=mode)
-        session_b, result_b = scenario.run(kernel, fsm_mode=mode)
+        kernel, fmode, smode = variant
+        session_a, result_a = scenario.run(kernel, fsm_mode=fmode,
+                                           system_mode=smode)
+        session_b, result_b = scenario.run(kernel, fsm_mode=fmode,
+                                           system_mode=smode)
         fingerprint_a = cosim_fingerprint(session_a, result_a)
         fingerprint_b = cosim_fingerprint(session_b, result_b)
         for field in fingerprint_a:
@@ -199,7 +201,8 @@ class RealtimeScenario:
         )
         return params
 
-    def run(self, kernel="production", fsm_mode=None, coverage=None):
+    def run(self, kernel="production", fsm_mode=None, coverage=None,
+            system_mode=None):
         """Run the platform-timed session; returns ``(session, result, report)``.
 
         The report carries the scoreboard inputs: the back-annotated
@@ -209,7 +212,8 @@ class RealtimeScenario:
         """
         params = self.session_parameters()
         session = CosimSession(self.system.build_model(), kernel=kernel,
-                               fsm_mode=fsm_mode, **params)
+                               fsm_mode=fsm_mode, system_mode=system_mode,
+                               **params)
         if coverage is not None:
             from repro.testkit.coverage import attach_session
             attach_session(session, coverage)
@@ -245,7 +249,7 @@ class RealtimeScenario:
 
 
 def check_realtime_scenario(scenario, kernels=("production", "reference"),
-                            fsm_mode=None):
+                            fsm_mode=None, system_mode=None):
     """Differential oracle for one real-time scenario.
 
     Asserts determinism and kernel conformance of the platform-timed run
@@ -253,23 +257,20 @@ def check_realtime_scenario(scenario, kernels=("production", "reference"),
     contract), plus that the clock pulse train satisfies its own
     back-annotated period — the one timing property load cannot excuse.
     """
-    if fsm_mode is None:
-        fsm_mode = DEFAULT_FSM_MODE
-    modes = (("compiled", "interpreted") if fsm_mode == "differential"
-             else (fsm_mode,))
-    variants = [(kernel, mode) for kernel in kernels for mode in modes]
+    variants = variant_matrix(kernels, fsm_mode, system_mode)
 
     def label(variant):
-        kernel, mode = variant
-        return kernel if len(modes) == 1 else f"{kernel}/{mode}"
+        return variant_label(variant, variants)
 
     problems = []
     fingerprints = {}
     reports = {}
     for variant in variants:
-        kernel, mode = variant
-        session_a, result_a, report_a = scenario.run(kernel, fsm_mode=mode)
-        session_b, result_b, report_b = scenario.run(kernel, fsm_mode=mode)
+        kernel, fmode, smode = variant
+        session_a, result_a, report_a = scenario.run(kernel, fsm_mode=fmode,
+                                                     system_mode=smode)
+        session_b, result_b, report_b = scenario.run(kernel, fsm_mode=fmode,
+                                                     system_mode=smode)
         fingerprint_a = cosim_fingerprint(session_a, result_a)
         fingerprint_b = cosim_fingerprint(session_b, result_b)
         for field in fingerprint_a:

@@ -390,11 +390,29 @@ class TestStateHistoryEviction:
 class TestSessionCounters:
     def test_summary_reports_tier_counters(self):
         system = generate_system(2)
+        # Per-FSM wiring: every step lands on exactly one per-FSM tier.
         for mode, hot, cold in (("compiled", "compile_hits", "fallback"),
                                 ("interpreted", "fallback", "compile_hits")):
-            session, result = run_cosim(system, "production", fsm_mode=mode)
+            session, result = run_cosim(system, "production", fsm_mode=mode,
+                                        system_mode="per-fsm")
             counters = result.summary()["fsm"]
             assert counters["steps"] > 0
             assert counters["transitions_fired"] > 0
             assert counters[hot] == counters["steps"]
             assert counters[cold] == 0
+            assert counters["system_compile_hits"] == 0
+
+    def test_summary_reports_fused_tier_counters(self):
+        # Under the fused whole-system tier the controller and hardware
+        # steps land on system_compile_hits; software executors and service
+        # instances stay on the per-FSM compiled tier.
+        system = generate_system(2)
+        session, result = run_cosim(system, "production",
+                                    system_mode="fused")
+        counters = result.summary()["fsm"]
+        assert result.summary()["system_mode"] == "fused"
+        assert counters["system_compile_hits"] > 0
+        assert counters["system_fallback"] == 0
+        assert counters["steps"] == (counters["compile_hits"]
+                                     + counters["fallback"]
+                                     + counters["system_compile_hits"])

@@ -165,7 +165,8 @@ class TestCosimInstrumentation:
         fsm = session.fsm_counters()
         tiers = {entry["labels"]["tier"]: entry["value"] for entry in
                  families["repro_cosim_fsm_steps_total"]["series"]}
-        assert sum(tiers.values()) == fsm["compile_hits"] + fsm["fallback"]
+        assert sum(tiers.values()) == (fsm["compile_hits"] + fsm["fallback"]
+                                       + fsm["system_compile_hits"])
 
     def test_telemetry_never_perturbs_simulated_results(self):
         _, plain = self._run()

@@ -17,11 +17,14 @@ if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
 from benchmarks.perf.cosim import (  # noqa: E402  (path setup above)
-    ACCEPTANCE_POINT,
-    ACCEPTANCE_THRESHOLD,
+    ACCEPTANCE_POINTS,
+    BATCH_THRESHOLD,
     SCHEMA,
     check_against_baseline,
+    check_fast_paths,
     main,
+    resolve_system_mode,
+    time_batch_point,
     time_cosim_point,
 )
 from benchmarks.perf.cosim_workloads import COSIM_WORKLOADS  # noqa: E402
@@ -37,18 +40,43 @@ def test_quick_sizes_are_subset_of_full_sizes():
         assert set(workload.quick_sizes) <= set(workload.sizes)
 
 
+def test_acceptance_points_exist_in_full_sweep():
+    sizes = {workload.name: workload.sizes for workload in COSIM_WORKLOADS}
+    for workload, scale, threshold in ACCEPTANCE_POINTS:
+        assert scale in sizes[workload]
+        assert threshold > 1.0
+
+
+def test_resolve_system_mode_follows_fsm_tier():
+    assert resolve_system_mode("compiled") == "fused"
+    assert resolve_system_mode("interpreted") == "interpreted"
+    assert resolve_system_mode("compiled", "per-fsm") == "per-fsm"
+
+
 def test_transition_rate_point_counts_transitions():
     point = time_cosim_point(TRANSITION_RATE, 2, "compiled", quick=True)
     assert point["wall_s"] >= 0
+    assert point["system_mode"] == "fused"
     assert point["fsm"]["steps"] > 0
-    # Transition-rate-bound by construction: every step fires.
+    # Transition-rate-bound by construction: every step fires, and under
+    # the fused tier every hardware step lands in the fused program.
     assert point["fsm"]["transitions_fired"] == point["fsm"]["steps"]
-    assert point["fsm"]["compile_hits"] == point["fsm"]["steps"]
+    assert point["fsm"]["system_compile_hits"] == point["fsm"]["steps"]
+    assert point["fsm"]["system_fallback"] == 0
     assert point["fsm"]["fallback"] == 0
+
+
+def test_per_fsm_point_reports_compiled_steps():
+    point = time_cosim_point(TRANSITION_RATE, 2, "compiled",
+                             system_mode="per-fsm", quick=True)
+    assert point["system_mode"] == "per-fsm"
+    assert point["fsm"]["compile_hits"] == point["fsm"]["steps"] > 0
+    assert point["fsm"]["system_compile_hits"] == 0
 
 
 def test_interpreted_point_reports_fallback_steps():
     point = time_cosim_point(MIXED_SYSTEM, 1, "interpreted", quick=True)
+    assert point["system_mode"] == "interpreted"
     assert point["fsm"]["fallback"] == point["fsm"]["steps"] > 0
     assert point["fsm"]["compile_hits"] == 0
 
@@ -58,28 +86,59 @@ def test_repeats_validated():
         time_cosim_point(TRANSITION_RATE, 2, "compiled", repeats=0)
 
 
-def _synthetic_run(points):
-    return {"results": [
+def test_batch_point_is_byte_identical():
+    point = time_batch_point(scenarios=3)
+    assert point["identical"] is True
+    assert point["scenarios"] == 3
+    assert point["threshold"] == BATCH_THRESHOLD
+    assert point["batch_wall_s"] > 0
+
+
+def _synthetic_run(points, **extra):
+    run = {"results": [
         {"workload": workload, "n_processes": n, "wall_s": wall}
         for workload, n, wall in points
     ]}
+    run.update(extra)
+    return run
 
 
 def test_update_bench_file_computes_cosim_acceptance(tmp_path):
     path = tmp_path / "bench_cosim.json"
-    seed = _synthetic_run([(ACCEPTANCE_POINT[0], ACCEPTANCE_POINT[1], 6.0)])
-    current = _synthetic_run([(ACCEPTANCE_POINT[0], ACCEPTANCE_POINT[1], 1.0)])
-    update_bench_file(path, "seed", seed, schema=SCHEMA,
-                      point=ACCEPTANCE_POINT, threshold=ACCEPTANCE_THRESHOLD)
-    document = update_bench_file(path, "current", current, schema=SCHEMA,
-                                 point=ACCEPTANCE_POINT,
-                                 threshold=ACCEPTANCE_THRESHOLD)
+    seed_points = [(w, n, 6.0) for w, n, _ in ACCEPTANCE_POINTS]
+    current_points = [(w, n, 1.0) for w, n, _ in ACCEPTANCE_POINTS]
+    update_bench_file(path, "seed", _synthetic_run(seed_points),
+                      schema=SCHEMA, points=ACCEPTANCE_POINTS)
+    document = update_bench_file(path, "current",
+                                 _synthetic_run(current_points),
+                                 schema=SCHEMA, points=ACCEPTANCE_POINTS)
     assert json.loads(path.read_text())["schema"] == SCHEMA
     acceptance = document["acceptance"]
-    assert acceptance["point"] == {"workload": ACCEPTANCE_POINT[0],
-                                   "n_processes": ACCEPTANCE_POINT[1]}
-    assert acceptance["speedup"] == 6.0
     assert acceptance["pass"] is True
+    assert len(acceptance["points"]) == len(ACCEPTANCE_POINTS)
+    for entry, (workload, n, threshold) in zip(acceptance["points"],
+                                               ACCEPTANCE_POINTS):
+        assert entry["point"] == {"workload": workload, "n_processes": n}
+        assert entry["threshold"] == threshold
+        assert entry["speedup"] == 6.0
+        assert entry["pass"] is True
+
+
+def test_acceptance_fails_when_any_point_misses(tmp_path):
+    # One fast point must not green-light the whole verdict.
+    path = tmp_path / "bench_cosim.json"
+    seed_points = [(w, n, 6.0) for w, n, _ in ACCEPTANCE_POINTS]
+    current_points = [(ACCEPTANCE_POINTS[0][0], ACCEPTANCE_POINTS[0][1], 1.0),
+                      (ACCEPTANCE_POINTS[1][0], ACCEPTANCE_POINTS[1][1], 5.0)]
+    update_bench_file(path, "seed", _synthetic_run(seed_points),
+                      schema=SCHEMA, points=ACCEPTANCE_POINTS)
+    document = update_bench_file(path, "current",
+                                 _synthetic_run(current_points),
+                                 schema=SCHEMA, points=ACCEPTANCE_POINTS)
+    acceptance = document["acceptance"]
+    assert acceptance["points"][0]["pass"] is True
+    assert acceptance["points"][1]["pass"] is False
+    assert acceptance["pass"] is False
 
 
 def test_check_against_baseline_flags_regressions():
@@ -104,12 +163,40 @@ def test_check_against_baseline_rejects_vacuous_comparison():
     assert any("no shared points" in line for line in lines)
 
 
+def test_check_fast_paths_flags_lost_tiers():
+    fused_ok = {"results": [{
+        "workload": "transition_rate", "n_processes": 2,
+        "fsm_mode": "compiled", "system_mode": "fused",
+        "fsm": {"steps": 10, "compile_hits": 0, "fallback": 0,
+                "system_compile_hits": 10, "system_fallback": 0},
+    }]}
+    ok, lines = check_fast_paths(fused_ok)
+    assert ok and not lines
+    fused_lost = {"results": [{
+        "workload": "transition_rate", "n_processes": 2,
+        "fsm_mode": "compiled", "system_mode": "fused",
+        "fsm": {"steps": 10, "compile_hits": 8, "fallback": 0,
+                "system_compile_hits": 2, "system_fallback": 8},
+    }]}
+    ok, lines = check_fast_paths(fused_lost)
+    assert not ok
+    assert any("fused fast path" in line for line in lines)
+    compiled_lost = {"results": [{
+        "workload": "mixed_system", "n_processes": 1,
+        "fsm_mode": "compiled", "system_mode": "per-fsm",
+        "fsm": {"steps": 10, "compile_hits": 5, "fallback": 5,
+                "system_compile_hits": 0, "system_fallback": 0},
+    }]}
+    ok, lines = check_fast_paths(compiled_lost)
+    assert not ok
+    assert any("compiled fast path" in line for line in lines)
+
+
 def test_check_cli_requires_recorded_baseline(tmp_path, capsys):
     missing = tmp_path / "nope.json"
     assert main(["--check", "--output", str(missing)]) == 1
     update_bench_file(tmp_path / "bench.json", "current", _synthetic_run([]),
-                      schema=SCHEMA, point=ACCEPTANCE_POINT,
-                      threshold=ACCEPTANCE_THRESHOLD)
+                      schema=SCHEMA, points=ACCEPTANCE_POINTS)
     assert main(["--check", "--output", str(tmp_path / "bench.json")]) == 1
     err = capsys.readouterr().err
     assert "quick-baseline" in err
@@ -118,22 +205,39 @@ def test_check_cli_requires_recorded_baseline(tmp_path, capsys):
 def test_check_cli_rejects_baseline_from_wrong_tier(tmp_path, capsys):
     # A baseline recorded on the interpreted tier must not silently gate a
     # compiled-tier run (it would be trivially green).
-    baseline = dict(_synthetic_run([("transition_rate", 2, 0.5)]),
-                    fsm_mode="interpreted", quick=True)
+    baseline = _synthetic_run([("transition_rate", 2, 0.5)],
+                              fsm_mode="interpreted",
+                              system_mode="interpreted", quick=True)
     path = tmp_path / "bench.json"
     update_bench_file(path, "quick-baseline", baseline, schema=SCHEMA,
-                      point=ACCEPTANCE_POINT, threshold=ACCEPTANCE_THRESHOLD)
+                      points=ACCEPTANCE_POINTS)
     assert main(["--check", "--output", str(path)]) == 1
     assert "re-record the baseline" in capsys.readouterr().err
+
+
+def test_check_cli_rejects_baseline_from_wrong_system_tier(tmp_path, capsys):
+    # Right FSM tier, wrong whole-system tier: a per-FSM baseline must not
+    # gate a fused run — that is exactly the gap this PR's tier closes.
+    baseline = _synthetic_run([("transition_rate", 2, 0.5)],
+                              fsm_mode="compiled", system_mode="per-fsm",
+                              quick=True)
+    path = tmp_path / "bench.json"
+    update_bench_file(path, "quick-baseline", baseline, schema=SCHEMA,
+                      points=ACCEPTANCE_POINTS)
+    assert main(["--check", "--output", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "system_mode='per-fsm'" in err
+    assert "re-record the baseline" in err
 
 
 def test_check_cli_rejects_full_tier_baseline(tmp_path, capsys):
     # A full-tier baseline does ~10x the quick tier's work per point, which
     # would make every wall-clock ratio trivially green.
-    baseline = dict(_synthetic_run([("transition_rate", 2, 0.5)]),
-                    fsm_mode="compiled", quick=False)
+    baseline = _synthetic_run([("transition_rate", 2, 0.5)],
+                              fsm_mode="compiled", system_mode="fused",
+                              quick=False)
     path = tmp_path / "bench.json"
     update_bench_file(path, "quick-baseline", baseline, schema=SCHEMA,
-                      point=ACCEPTANCE_POINT, threshold=ACCEPTANCE_THRESHOLD)
+                      points=ACCEPTANCE_POINTS)
     assert main(["--check", "--output", str(path)]) == 1
     assert "--quick" in capsys.readouterr().err
